@@ -1,0 +1,474 @@
+(* ezrt: the ezRealtime command-line tool.
+
+   Mirrors the paper's workflow: check a specification, model it as a
+   time Petri net (PNML/DOT), synthesize a feasible pre-runtime
+   schedule, generate scheduled C code, simulate the generated table on
+   the virtual target, and compare against runtime-scheduling
+   baselines. *)
+
+open Ezrealtime
+open Cmdliner
+
+let load_spec file case =
+  match file, case with
+  | Some path, None -> (
+    match Dsl.load_file path with
+    | Ok spec -> Ok spec
+    | Error e -> Error (Dsl.error_to_string e))
+  | None, Some name -> (
+    match List.assoc_opt name Case_studies.all with
+    | Some spec -> Ok spec
+    | None ->
+      Error
+        (Printf.sprintf "unknown case study %S (available: %s)" name
+           (String.concat ", " (List.map fst Case_studies.all))))
+  | Some _, Some _ -> Error "pass either FILE or --case, not both"
+  | None, None -> Error "pass a specification FILE or --case NAME"
+
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"ezRealtime DSL specification (XML, see Fig 7 of the paper).")
+
+let case_arg =
+  Arg.(value & opt (some string) None & info [ "case" ] ~docv:"NAME"
+         ~doc:"Use a built-in case study (mine-pump, fig3, fig4, fig8, \
+               quickstart).")
+
+let policy_arg =
+  let policy_conv = Arg.enum Priority.all in
+  Arg.(value & opt policy_conv Priority.Edf & info [ "policy" ] ~docv:"POLICY"
+         ~doc:"Branch ordering policy: edf, rm, dm or fifo.")
+
+let no_po_arg =
+  Arg.(value & flag & info [ "no-partial-order" ]
+         ~doc:"Disable the partial-order state-space pruning.")
+
+let latest_arg =
+  Arg.(value & flag & info [ "latest-release" ]
+         ~doc:"Also branch on the latest release times (inserted idle \
+               time).")
+
+let max_states_arg =
+  Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"N"
+         ~doc:"Stored-state budget for the search.")
+
+let search_options policy no_po latest max_stored =
+  { Search.policy; partial_order = not no_po; latest_release = latest;
+    max_stored }
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("ezrt: " ^ msg);
+    exit 1
+
+let with_spec file case f = f (or_die (load_spec file case))
+
+(* --- check ---------------------------------------------------------- *)
+
+let check_cmd =
+  let run file case =
+    with_spec file case (fun spec ->
+        let outcome = Validate.check spec in
+        List.iter
+          (fun w ->
+            Printf.printf "warning: %s\n" (Validate.warning_to_string w))
+          outcome.Validate.warnings;
+        match outcome.Validate.errors with
+        | [] ->
+          Format.printf "%a@." Spec.pp spec;
+          print_endline "specification is well-formed"
+        | errors ->
+          List.iter
+            (fun e -> Printf.printf "error: %s\n" (Validate.error_to_string e))
+            errors;
+          exit 1)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Validate a specification.")
+    Term.(const run $ file_arg $ case_arg)
+
+(* --- info ----------------------------------------------------------- *)
+
+let info_cmd =
+  let run file case =
+    with_spec file case (fun spec ->
+        Format.printf "%a@." Spec.pp spec;
+        List.iter
+          (fun (id, n) ->
+            match Spec.find_task spec id with
+            | Some t -> Format.printf "  %a  instances=%d@." Task.pp t n
+            | None -> ())
+          (Spec.instance_counts spec);
+        Format.printf "@.workload statistics:@.%a@." Stats.pp
+          (Stats.compute spec);
+        let model = Translate.translate spec in
+        Format.printf "%a@." Translate.pp_inventory model)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print the specification and model summary.")
+    Term.(const run $ file_arg $ case_arg)
+
+(* --- model ---------------------------------------------------------- *)
+
+let model_cmd =
+  let pnml_out =
+    Arg.(value & opt (some string) None & info [ "o"; "pnml" ] ~docv:"FILE"
+           ~doc:"Write the PNML document here.")
+  in
+  let dot_out =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Write a Graphviz rendering here.")
+  in
+  let tina_out =
+    Arg.(value & opt (some string) None & info [ "tina" ] ~docv:"FILE"
+           ~doc:"Write a TINA .net rendering here.")
+  in
+  let run file case pnml dot tina =
+    with_spec file case (fun spec ->
+        let model = Translate.translate spec in
+        Format.printf "%a@." Pnet.pp_summary model.Translate.net;
+        (match pnml with
+        | Some path ->
+          Pnml.save_file path model.Translate.net;
+          Printf.printf "PNML written to %s\n" path
+        | None ->
+          print_string (Pnml.to_string model.Translate.net));
+        (match dot with
+        | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Dot.to_dot model.Translate.net));
+          Printf.printf "DOT written to %s\n" path
+        | None -> ());
+        match tina with
+        | Some path ->
+          Tina.save_file path model.Translate.net;
+          Printf.printf "TINA .net written to %s\n" path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:"Translate the specification to a time Petri net (PNML).")
+    Term.(const run $ file_arg $ case_arg $ pnml_out $ dot_out $ tina_out)
+
+(* --- schedule ------------------------------------------------------- *)
+
+let engine_arg =
+  let engine_conv =
+    Arg.enum [ ("discrete", `Discrete); ("classes", `Classes) ]
+  in
+  Arg.(value & opt engine_conv `Discrete & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Search engine: discrete (integer-clock TLTS) or classes \
+               (dense-time state classes).")
+
+let gantt_arg =
+  Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
+
+let vcd_arg =
+  Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE"
+         ~doc:"Write the timeline as a VCD waveform here.")
+
+let schedule_cmd =
+  let run file case policy no_po latest max_states engine gantt vcd =
+    with_spec file case (fun spec ->
+        let finish artifact =
+          Format.printf "%a" report artifact;
+          if gantt then
+            Format.printf "@.%s"
+              (Chart.render artifact.model artifact.segments);
+          match vcd with
+          | Some path ->
+            Vcd.save_file path artifact.model artifact.segments;
+            Printf.printf "VCD written to %s\n" path
+          | None -> ()
+        in
+        match engine with
+        | `Discrete -> (
+          let search = search_options policy no_po latest max_states in
+          match synthesize ~search spec with
+          | Ok artifact -> finish artifact
+          | Error e ->
+            prerr_endline ("ezrt: " ^ error_to_string e);
+            exit 1)
+        | `Classes -> (
+          let model = Translate.translate spec in
+          match Class_search.find_schedule ~max_stored:max_states model with
+          | Ok schedule, metrics ->
+            let segments = Timeline.of_schedule model schedule in
+            (match Validator.check model segments with
+            | Error vs ->
+              prerr_endline
+                ("ezrt: schedule failed certification: "
+                ^ Validator.violation_to_string (List.hd vs));
+              exit 1
+            | Ok () ->
+              let table = Table.of_segments segments in
+              Format.printf
+                "class engine: %d classes stored (%d pruned eagerly), %d \
+                 backtracks, %.1f ms@."
+                metrics.Class_search.stored metrics.Class_search.eager
+                metrics.Class_search.backtracks
+                (metrics.Class_search.elapsed_s *. 1000.);
+              Format.printf "schedule table:@.%a" (Table.pp model) table;
+              if gantt then Format.printf "@.%s" (Chart.render model segments);
+              (match vcd with
+              | Some path ->
+                Vcd.save_file path model segments;
+                Printf.printf "VCD written to %s\n" path
+              | None -> ()))
+          | Error f, _ ->
+            prerr_endline ("ezrt: " ^ Class_search.failure_to_string f);
+            exit 1))
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Synthesize a feasible pre-runtime schedule.")
+    Term.(const run $ file_arg $ case_arg $ policy_arg $ no_po_arg
+          $ latest_arg $ max_states_arg $ engine_arg $ gantt_arg $ vcd_arg)
+
+(* --- analyze -------------------------------------------------------- *)
+
+let analyze_cmd =
+  let sensitivity_arg =
+    Arg.(value & flag & info [ "sensitivity" ]
+           ~doc:"Also run the WCET sensitivity analysis (one synthesis per \
+                 binary-search probe).")
+  in
+  let run file case sensitivity =
+    with_spec file case (fun spec ->
+        match synthesize spec with
+        | Error e ->
+          prerr_endline ("ezrt: " ^ error_to_string e);
+          exit 1
+        | Ok artifact ->
+          Format.printf "schedule quality:@.%a@." Quality.pp
+            (Quality.of_timeline artifact.model artifact.segments);
+          (match Rta.analyze spec with
+          | Ok rta -> Format.printf "response-time analysis:@.%a@." Rta.pp rta
+          | Error msg ->
+            Format.printf "response-time analysis: not applicable (%s)@.@."
+              msg);
+          Format.printf "max tolerable dispatch overhead: %d@."
+            (Vm.max_tolerable_overhead artifact.model artifact.table);
+          if sensitivity then begin
+            (match Sensitivity.analyze spec with
+            | Ok t -> Format.printf "@.WCET sensitivity:@.%a" Sensitivity.pp t
+            | Error msg -> Format.printf "@.WCET sensitivity: %s@." msg);
+            match Sensitivity.deadline_margins spec with
+            | Ok t ->
+              Format.printf "@.deadline margins:@.%a" Sensitivity.pp_deadlines t
+            | Error msg -> Format.printf "@.deadline margins: %s@." msg
+          end)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Quality, response-time and robustness analysis of the \
+             synthesized schedule.")
+    Term.(const run $ file_arg $ case_arg $ sensitivity_arg)
+
+(* --- model-check ----------------------------------------------------- *)
+
+let model_check_cmd =
+  let query_arg =
+    Arg.(required & opt (some string) None & info [ "q"; "query" ]
+           ~docv:"QUERY"
+           ~doc:"Reachability query, e.g. 'AG pproc <= 1' or 'EF pdm_T1 \
+                 >= 1'.")
+  in
+  let max_states_mc =
+    Arg.(value & opt int 100_000 & info [ "max-states" ] ~docv:"N"
+           ~doc:"State budget for the bounded walk.")
+  in
+  let classes_flag =
+    Arg.(value & flag & info [ "classes" ]
+           ~doc:"Check over the dense-time state-class graph instead of \
+                 the discrete TLTS.")
+  in
+  let unprioritized_flag =
+    Arg.(value & flag & info [ "unprioritized" ]
+           ~doc:"With --classes: drop the FT priority filter (classical \
+                 TPN semantics; over-approximates).")
+  in
+  let run file case query max_states classes unprioritized =
+    with_spec file case (fun spec ->
+        let model = Translate.translate spec in
+        match Query.parse query with
+        | Error msg ->
+          prerr_endline ("ezrt: query syntax: " ^ msg);
+          exit 1
+        | Ok q -> (
+          match
+            if classes then
+              Query.check_classes ~max_classes:max_states
+                ~priorities:(not unprioritized) model.Translate.net q
+            else Query.check ~max_states model.Translate.net q
+          with
+          | Error msg ->
+            prerr_endline ("ezrt: " ^ msg);
+            exit 1
+          | Ok verdict ->
+            Printf.printf "%s: %s\n" (Query.to_string q)
+              (Query.verdict_to_string verdict);
+            (match verdict with
+            | Query.Holds _ -> ()
+            | Query.Fails _ | Query.Unknown -> exit 1)))
+  in
+  Cmd.v
+    (Cmd.info "model-check"
+       ~doc:"Check a reachability property of the translated net (EF/AG \
+             over marking atoms).")
+    Term.(const run $ file_arg $ case_arg $ query_arg $ max_states_mc
+          $ classes_flag $ unprioritized_flag)
+
+(* --- codegen -------------------------------------------------------- *)
+
+let codegen_cmd =
+  let target_arg =
+    let target_conv = Arg.enum Target.all in
+    Arg.(value & opt target_conv Target.hosted & info [ "target" ] ~docv:"TARGET"
+           ~doc:"Code generation target: hosted, x86, arm9, 8051 or m68k.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE"
+           ~doc:"Write the generated C here (stdout otherwise).")
+  in
+  let compact_arg =
+    Arg.(value & flag & info [ "compact" ]
+           ~doc:"Emit the compact table layout (3 bytes per row) for \
+                 flash-constrained parts.")
+  in
+  let run file case target out compact =
+    with_spec file case (fun spec ->
+        match synthesize ~target spec with
+        | Ok artifact -> (
+          let program =
+            if compact then
+              Emit.program ~target ~layout:Emit.Compact_table artifact.model
+                artifact.table
+            else artifact.c_program
+          in
+          let fp =
+            Emit.table_footprint
+              ~layout:(if compact then Emit.Compact_table else Emit.Struct_table)
+              target artifact.table
+          in
+          match out with
+          | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc program);
+            Printf.printf "scheduled C written to %s (table: %d rows, %d B%s)\n"
+              path fp.Emit.rows fp.Emit.table_bytes
+              (match fp.Emit.fits_flash with
+              | Some false -> ", EXCEEDS the target's typical flash"
+              | Some true | None -> "")
+          | None -> print_string program)
+        | Error e ->
+          prerr_endline ("ezrt: " ^ error_to_string e);
+          exit 1)
+  in
+  Cmd.v (Cmd.info "codegen" ~doc:"Generate the scheduled C program.")
+    Term.(const run $ file_arg $ case_arg $ target_arg $ out_arg
+          $ compact_arg)
+
+(* --- simulate ------------------------------------------------------- *)
+
+let simulate_cmd =
+  let overhead_arg =
+    Arg.(value & opt (some int) None & info [ "overhead" ] ~docv:"N"
+           ~doc:"Per-dispatch overhead in time units (defaults to the \
+                 specification's dispatcherOverhead).")
+  in
+  let cycles_arg =
+    Arg.(value & opt int 1 & info [ "cycles" ] ~docv:"N"
+           ~doc:"Hyper-periods to simulate.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
+  in
+  let fault_arg =
+    Arg.(value & opt_all (t3 ~sep:':' string int int) []
+         & info [ "fault" ] ~docv:"TASK:INSTANCE:EXTRA"
+             ~doc:"Inject an execution-time overrun (task name, instance \
+                   number, extra time units); repeatable.")
+  in
+  let run file case overhead cycles trace faults =
+    with_spec file case (fun spec ->
+        match synthesize spec with
+        | Error e ->
+          prerr_endline ("ezrt: " ^ error_to_string e);
+          exit 1
+        | Ok artifact ->
+          let vm_faults =
+            List.map
+              (fun (name, instance, extra) ->
+                match Translate.task_index artifact.model name with
+                | index ->
+                  { Vm.f_task = index; f_instance = instance; f_extra = extra }
+                | exception Not_found ->
+                  prerr_endline ("ezrt: unknown task " ^ name);
+                  exit 1)
+              faults
+          in
+          let outcome =
+            Vm.execute ?overhead ~cycles ~faults:vm_faults artifact.model
+              artifact.table
+          in
+          if trace then
+            List.iter
+              (fun e ->
+                print_endline (Vm.event_to_string artifact.model e))
+              outcome.Vm.trace;
+          Printf.printf
+            "simulated %d hyper-period(s): %d instances completed, %d \
+             overruns\n"
+            cycles outcome.Vm.completed outcome.Vm.overruns;
+          (if vm_faults <> [] then begin
+            match Vm.isolation_check ?overhead ~faults:vm_faults artifact.model artifact.table with
+            | Ok overruns ->
+              Printf.printf
+                "fault isolation: %d overrun(s) confined to the faulty \
+                 instance(s); healthy instances unaffected\n"
+                overruns
+            | Error vs ->
+              List.iter
+                (fun v ->
+                  Printf.printf "fault LEAKED onto healthy work: %s\n"
+                    (Validator.violation_to_string v))
+                vs
+          end);
+          (match Vm.verify ?overhead artifact.model artifact.table with
+          | Ok () -> print_endline "trace satisfies every constraint"
+          | Error violations ->
+            List.iter
+              (fun v ->
+                Printf.printf "violation: %s\n"
+                  (Validator.violation_to_string v))
+              violations;
+            exit 1);
+          Printf.printf "max tolerable dispatch overhead: %d\n"
+            (Vm.max_tolerable_overhead artifact.model artifact.table))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute the schedule table on the virtual target machine.")
+    Term.(const run $ file_arg $ case_arg $ overhead_arg $ cycles_arg
+          $ trace_arg $ fault_arg)
+
+(* --- compare -------------------------------------------------------- *)
+
+let compare_cmd =
+  let run file case =
+    with_spec file case (fun spec ->
+        let rows = Baseline_compare.run_all spec in
+        Format.printf "%a" Baseline_compare.pp rows)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare runtime scheduling policies against the pre-runtime \
+             synthesis.")
+    Term.(const run $ file_arg $ case_arg)
+
+let main_cmd =
+  let doc = "embedded hard real-time software synthesis (ezRealtime)" in
+  Cmd.group (Cmd.info "ezrt" ~version ~doc)
+    [ check_cmd; info_cmd; model_cmd; schedule_cmd; analyze_cmd;
+      model_check_cmd; codegen_cmd; simulate_cmd; compare_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/control_loop.ml: Baseline_compare Ezrealtime Format List Message Printf Sensitivity Spec String Task Timeline Validate Vm

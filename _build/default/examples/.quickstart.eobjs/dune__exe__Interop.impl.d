@@ -1,0 +1,1 @@
+examples/interop.ml: Analysis Array Case_studies Dot Ezrealtime Format Invariants List Out_channel Pnet Pnml Query Reduce String Translate

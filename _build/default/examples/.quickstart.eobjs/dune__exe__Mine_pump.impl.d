@@ -1,0 +1,1 @@
+examples/mine_pump.ml: Case_studies Chart Dot Ezrealtime Format List Out_channel Pnml Search Spec Table Task Timeline Translate Validator Vm

@@ -1,0 +1,1 @@
+examples/mine_pump.mli:

@@ -1,0 +1,1 @@
+examples/preemptive_pipeline.ml: Case_studies Chart Emit Ezrealtime Format List Out_channel Printf Quality Target Vcd Vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dsl Ezrealtime Format Spec Task Timeline

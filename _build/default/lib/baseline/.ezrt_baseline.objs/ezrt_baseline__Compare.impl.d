@@ -1,0 +1,1 @@
+lib/baseline/compare.ml: Array Ezrt_blocks Ezrt_sched Ezrt_spec Format List Printf Sim

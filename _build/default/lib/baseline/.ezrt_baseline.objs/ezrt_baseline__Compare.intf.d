@@ -1,0 +1,1 @@
+lib/baseline/compare.mli: Ezrt_sched Ezrt_spec Format

@@ -1,0 +1,1 @@
+lib/baseline/rta.ml: Ezrt_spec Format List

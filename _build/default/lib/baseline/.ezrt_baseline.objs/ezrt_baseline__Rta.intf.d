@@ -1,0 +1,1 @@
+lib/baseline/rta.mli: Ezrt_spec Format

@@ -1,0 +1,1 @@
+lib/baseline/sim.ml: Array Ezrt_sched Ezrt_spec Hashtbl List Option String

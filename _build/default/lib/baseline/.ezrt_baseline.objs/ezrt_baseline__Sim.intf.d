@@ -1,0 +1,1 @@
+lib/baseline/sim.mli: Ezrt_sched Ezrt_spec

@@ -1,0 +1,59 @@
+module Spec = Ezrt_spec.Spec
+module Task = Ezrt_spec.Task
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Timeline = Ezrt_sched.Timeline
+module Validator = Ezrt_sched.Validator
+
+type row = {
+  approach : string;
+  feasible : bool;
+  detail : string;
+}
+
+let runtime_row spec (name, policy) =
+  let result = Sim.simulate policy spec in
+  let detail =
+    match result.Sim.first_miss with
+    | None -> Printf.sprintf "%d preemptions" result.Sim.preemptions
+    | Some miss ->
+      let tasks = Array.of_list spec.Spec.tasks in
+      Printf.sprintf "first miss: %s#%d at t=%d"
+        tasks.(miss.Sim.task).Task.name miss.Sim.instance miss.Sim.time
+  in
+  { approach = name; feasible = result.Sim.feasible; detail }
+
+let pre_runtime_row ?search spec =
+  let model = Translate.translate spec in
+  let outcome, metrics = Search.find_schedule ?options:search model in
+  match outcome with
+  | Ok schedule ->
+    let segments = Timeline.of_schedule model schedule in
+    let certified =
+      match Validator.check model segments with Ok () -> true | Error _ -> false
+    in
+    {
+      approach = "pre-runtime (dfs)";
+      feasible = certified;
+      detail =
+        Printf.sprintf "%d states, %.1f ms%s" metrics.Search.stored
+          (metrics.Search.elapsed_s *. 1000.)
+          (if certified then "" else "; VALIDATOR REJECTED");
+    }
+  | Error f ->
+    {
+      approach = "pre-runtime (dfs)";
+      feasible = false;
+      detail = Search.failure_to_string f;
+    }
+
+let run_all ?search spec =
+  List.map (runtime_row spec) Sim.all_policies @ [ pre_runtime_row ?search spec ]
+
+let pp fmt rows =
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "  %-18s %-10s %s@." row.approach
+        (if row.feasible then "feasible" else "INFEASIBLE")
+        row.detail)
+    rows

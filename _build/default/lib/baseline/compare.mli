@@ -1,0 +1,16 @@
+(** Side-by-side feasibility of runtime policies versus the paper's
+    pre-runtime synthesis — the quantitative form of the paper's
+    motivation. *)
+
+type row = {
+  approach : string;  (** "edf", "rm", "dm" or "pre-runtime (dfs)" *)
+  feasible : bool;
+  detail : string;  (** first miss, or search statistics *)
+}
+
+val run_all : ?search:Ezrt_sched.Search.options -> Ezrt_spec.Spec.t -> row list
+(** Simulates every runtime policy and runs the DFS synthesis (with
+    [search] options, when given); pre-runtime results are certified
+    with the independent validator before being reported feasible. *)
+
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,115 @@
+module Spec = Ezrt_spec.Spec
+module Task = Ezrt_spec.Task
+
+type policy =
+  | Rate_monotonic
+  | Deadline_monotonic
+
+type task_report = {
+  task : string;
+  priority_rank : int;
+  blocking : int;
+  response_time : int option;
+  schedulable : bool;
+}
+
+type report = {
+  utilization : float;
+  liu_layland_bound : float;
+  passes_utilization_test : bool;
+  tasks : task_report list;
+  all_schedulable : bool;
+}
+
+let priority_key policy (t : Task.t) =
+  match policy with
+  | Rate_monotonic -> t.Task.period
+  | Deadline_monotonic -> t.Task.deadline
+
+(* R = C + B + sum_{j in hp} ceil(R / T_j) * C_j, iterated to a fixed
+   point.  With U <= 1 the recurrence always converges within the busy
+   period; the cap only guards pathological inputs. *)
+let response_time ~blocking ~higher (task : Task.t) =
+  let interference r =
+    List.fold_left
+      (fun acc (h : Task.t) ->
+        acc + (((r + h.Task.period - 1) / h.Task.period) * h.Task.wcet))
+      0 higher
+  in
+  let cap = 64 * task.Task.period in
+  let rec iterate r =
+    let r' = task.Task.wcet + blocking + interference r in
+    if r' = r then Some r else if r' > cap then None else iterate r'
+  in
+  iterate task.Task.wcet
+
+let analyze ?(policy = Deadline_monotonic) spec =
+  if spec.Spec.precedences <> [] || spec.Spec.exclusions <> []
+     || spec.Spec.messages <> []
+  then Error "response-time analysis assumes independent tasks (no relations)"
+  else if List.exists (fun (t : Task.t) -> t.Task.phase <> 0) spec.Spec.tasks
+  then Error "response-time analysis assumes synchronous tasks (no phases)"
+  else if not (Ezrt_spec.Validate.is_valid spec) then
+    Error "specification does not validate"
+  else begin
+    let tasks =
+      List.stable_sort
+        (fun a b -> compare (priority_key policy a) (priority_key policy b))
+        spec.Spec.tasks
+    in
+    let n = List.length tasks in
+    let utilization = Spec.utilization spec in
+    let bound =
+      float_of_int n *. ((2. ** (1. /. float_of_int n)) -. 1.)
+    in
+    let reports =
+      List.mapi
+        (fun rank (task : Task.t) ->
+          let higher = List.filteri (fun i _ -> i < rank) tasks in
+          let lower = List.filteri (fun i _ -> i > rank) tasks in
+          (* a lower-priority non-preemptive task can block for its
+             whole computation once started *)
+          let blocking =
+            List.fold_left
+              (fun acc (l : Task.t) ->
+                match l.Task.mode with
+                | Task.Non_preemptive -> max acc l.Task.wcet
+                | Task.Preemptive -> acc)
+              0 lower
+          in
+          let response = response_time ~blocking ~higher task in
+          {
+            task = task.Task.name;
+            priority_rank = rank;
+            blocking;
+            response_time = response;
+            schedulable =
+              (match response with
+              | Some r -> r <= task.Task.deadline
+              | None -> false);
+          })
+        tasks
+    in
+    Ok
+      {
+        utilization;
+        liu_layland_bound = bound;
+        passes_utilization_test = utilization <= bound +. 1e-9;
+        tasks = reports;
+        all_schedulable = List.for_all (fun r -> r.schedulable) reports;
+      }
+  end
+
+let pp fmt report =
+  Format.fprintf fmt "U = %.3f, Liu-Layland bound = %.3f (%s)@."
+    report.utilization report.liu_layland_bound
+    (if report.passes_utilization_test then "passes" else "inconclusive");
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "  #%d %-10s B=%-3d R=%-6s %s@." t.priority_rank
+        t.task t.blocking
+        (match t.response_time with
+        | Some r -> string_of_int r
+        | None -> "diverged")
+        (if t.schedulable then "ok" else "MISS"))
+    report.tasks

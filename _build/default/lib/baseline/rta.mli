@@ -1,0 +1,47 @@
+(** Analytic schedulability tests for fixed-priority runtime
+    scheduling — the textbook counterpart of both the simulator
+    ({!Sim}) and the paper's exhaustive synthesis.
+
+    Implements, for task sets ordered by rate- or deadline-monotonic
+    priority:
+
+    - the Liu & Layland utilization bound [n (2^{1/n} - 1)] (sufficient
+      for preemptive RM with implicit deadlines);
+    - exact response-time analysis
+      [R = C + B + sum_{hp} ceil(R / T_j) C_j] with the blocking term
+      [B] = the longest lower-priority non-preemptive computation (a
+      non-preemptive task, once started, cannot be preempted).
+
+    Precedence, message and exclusion relations are outside this
+    analysis (it is sound only for independent task sets); {!analyze}
+    refuses specifications that have them. *)
+
+type policy =
+  | Rate_monotonic
+  | Deadline_monotonic
+
+type task_report = {
+  task : string;
+  priority_rank : int;  (** 0 = highest priority *)
+  blocking : int;
+  response_time : int option;
+      (** [None]: the recurrence found no fixed point within the
+          safety cap (only possible for over-utilized inputs) *)
+  schedulable : bool;
+}
+
+type report = {
+  utilization : float;
+  liu_layland_bound : float;
+  passes_utilization_test : bool;
+      (** sufficient only; a [false] here decides nothing *)
+  tasks : task_report list;
+  all_schedulable : bool;  (** every response time meets its deadline *)
+}
+
+val analyze : ?policy:policy -> Ezrt_spec.Spec.t -> (report, string) result
+(** [policy] defaults to [Deadline_monotonic].  Returns [Error] for
+    specifications with relations, messages or phases (the analysis
+    assumes independent, synchronous task sets). *)
+
+val pp : Format.formatter -> report -> unit

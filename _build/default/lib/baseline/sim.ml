@@ -1,0 +1,244 @@
+module Spec = Ezrt_spec.Spec
+module Task = Ezrt_spec.Task
+module Message = Ezrt_spec.Message
+module Validate = Ezrt_spec.Validate
+module Timeline = Ezrt_sched.Timeline
+
+type policy =
+  | Edf
+  | Rm
+  | Dm
+
+let policy_to_string = function Edf -> "edf" | Rm -> "rm" | Dm -> "dm"
+let all_policies = [ ("edf", Edf); ("rm", Rm); ("dm", Dm) ]
+
+type miss = { task : int; instance : int; time : int }
+
+type result = {
+  feasible : bool;
+  first_miss : miss option;
+  segments : Timeline.segment list;
+  preemptions : int;
+}
+
+type fault = {
+  f_task : int;
+  f_instance : int;
+  f_extra : int;
+}
+
+type job = {
+  j_task : int;
+  j_instance : int;
+  j_deadline : int;  (* absolute *)
+  mutable j_remaining : int;
+  mutable j_started : bool;
+}
+
+let simulate ?(faults = []) policy spec =
+  Validate.check_exn spec;
+  let tasks = Array.of_list spec.Spec.tasks in
+  let n = Array.length tasks in
+  let horizon = Spec.hyperperiod spec in
+  let index_of_id id =
+    let rec go i =
+      if i >= n then raise Not_found
+      else if String.equal tasks.(i).Task.id id then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let predecessors = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      let ia = index_of_id a and ib = index_of_id b in
+      predecessors.(ib) <- (ia, 0) :: predecessors.(ib))
+    spec.Spec.precedences;
+  List.iter
+    (fun (m : Message.t) ->
+      let ia = index_of_id m.Message.sender
+      and ib = index_of_id m.Message.receiver in
+      predecessors.(ib) <- (ia, Message.duration m) :: predecessors.(ib))
+    spec.Spec.messages;
+  let excluded = Array.make_matrix n n false in
+  List.iter
+    (fun (a, b) ->
+      let ia = index_of_id a and ib = index_of_id b in
+      excluded.(ia).(ib) <- true;
+      excluded.(ib).(ia) <- true)
+    spec.Spec.exclusions;
+  (* completion_time.(i) holds per finished instance its completion
+     instant, used for precedence/message gating. *)
+  let completion_time = Array.make n [||] in
+  Array.iteri
+    (fun i task ->
+      completion_time.(i) <- Array.make (Task.instances_in task horizon) (-1))
+    tasks;
+  let jobs : job list ref = ref [] in
+  let segments = ref [] in
+  let preemptions = ref 0 in
+  let first_miss = ref None in
+  let emitted_parts = Hashtbl.create 32 in
+  let last_running = ref None in
+  let open_segment = ref None in
+  let close_segment time =
+    match !open_segment with
+    | None -> ()
+    | Some (job, start) ->
+      let parts =
+        Option.value
+          (Hashtbl.find_opt emitted_parts (job.j_task, job.j_instance))
+          ~default:0
+      in
+      Hashtbl.replace emitted_parts (job.j_task, job.j_instance) (parts + 1);
+      segments :=
+        {
+          Timeline.task = job.j_task;
+          instance = job.j_instance;
+          start;
+          finish = time;
+          resumed = parts > 0;
+        }
+        :: !segments;
+      open_segment := None
+  in
+  let priority_key job =
+    match policy with
+    | Edf -> job.j_deadline
+    | Rm -> tasks.(job.j_task).Task.period
+    | Dm -> tasks.(job.j_task).Task.deadline
+  in
+  let ready time job =
+    job.j_remaining > 0
+    && List.for_all
+         (fun (pred, extra) ->
+           let done_at = completion_time.(pred).(job.j_instance) in
+           done_at >= 0 && done_at + extra <= time)
+         predecessors.(job.j_task)
+  in
+  (* A job may occupy the CPU at [time] if it is ready and neither the
+     exclusion rule nor non-preemptive progress forbids it. *)
+  let eligible time job =
+    ready time job
+    && (job.j_started
+        || not
+             (List.exists
+                (fun other ->
+                  other != job && other.j_started && other.j_remaining > 0
+                  && excluded.(other.j_task).(job.j_task))
+                !jobs))
+  in
+  let t = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !t < horizon do
+    let time = !t in
+    (* arrivals *)
+    Array.iteri
+      (fun i task ->
+        let count = Task.instances_in task horizon in
+        let k = (time - task.Task.phase) / task.Task.period in
+        if
+          time >= task.Task.phase
+          && (time - task.Task.phase) mod task.Task.period = 0
+          && k < count
+        then
+          let extra =
+            List.fold_left
+              (fun acc f ->
+                if f.f_task = i && f.f_instance = k then acc + f.f_extra
+                else acc)
+              0 faults
+          in
+          jobs :=
+            {
+              j_task = i;
+              j_instance = k;
+              j_deadline = time + task.Task.deadline;
+              j_remaining = task.Task.wcet + extra;
+              j_started = false;
+            }
+            :: !jobs)
+      tasks;
+    (* deadline misses: a live job whose remaining work no longer fits *)
+    (match
+       List.find_opt
+         (fun job -> job.j_remaining > 0 && time + job.j_remaining > job.j_deadline)
+         !jobs
+     with
+    | Some job ->
+      first_miss :=
+        Some { task = job.j_task; instance = job.j_instance; time };
+      stop := true
+    | None -> ());
+    if not !stop then begin
+      (* release-offset handling: a job is invisible before r *)
+      let visible job =
+        let task = tasks.(job.j_task) in
+        let arrival = task.Task.phase + (job.j_instance * task.Task.period) in
+        time >= arrival + task.Task.release
+      in
+      let candidates = List.filter (fun j -> visible j && eligible time j) !jobs in
+      let running_np =
+        List.find_opt
+          (fun j ->
+            j.j_started && j.j_remaining > 0
+            && tasks.(j.j_task).Task.mode = Task.Non_preemptive)
+          !jobs
+      in
+      let chosen =
+        match running_np with
+        | Some job -> Some job  (* a started NP job cannot be preempted *)
+        | None ->
+          List.fold_left
+            (fun best job ->
+              match best with
+              | None -> Some job
+              | Some b ->
+                if
+                  compare
+                    (priority_key job, job.j_task, job.j_instance)
+                    (priority_key b, b.j_task, b.j_instance)
+                  < 0
+                then Some job
+                else Some b)
+            None candidates
+      in
+      (match chosen with
+      | None ->
+        close_segment time;
+        last_running := None
+      | Some job ->
+        (match !last_running with
+        | Some prev when prev == job -> ()
+        | Some prev ->
+          close_segment time;
+          if prev.j_remaining > 0 then incr preemptions
+        | None -> ());
+        if !open_segment = None then open_segment := Some (job, time);
+        job.j_started <- true;
+        job.j_remaining <- job.j_remaining - 1;
+        last_running := Some job;
+        if job.j_remaining = 0 then begin
+          completion_time.(job.j_task).(job.j_instance) <- time + 1;
+          close_segment (time + 1);
+          last_running := None
+        end);
+      incr t
+    end
+  done;
+  if not !stop then begin
+    close_segment horizon;
+    (* cyclic-executive semantics: work left at the horizon cannot be
+       carried into the next cycle *)
+    match List.find_opt (fun job -> job.j_remaining > 0) !jobs with
+    | Some job ->
+      first_miss :=
+        Some { task = job.j_task; instance = job.j_instance; time = horizon }
+    | None -> ()
+  end;
+  {
+    feasible = !first_miss = None;
+    first_miss = !first_miss;
+    segments = List.rev !segments;
+    preemptions = !preemptions;
+  }

@@ -1,0 +1,43 @@
+(** Priority-driven runtime scheduling simulator — the comparator the
+    pre-runtime approach is motivated against (Mok's classic result:
+    with precedence and exclusion relations, optimal runtime scheduling
+    is intractable and priority-driven schedulers miss deadlines that a
+    pre-runtime schedule meets).
+
+    The simulator steps one time unit at a time over the hyper-period:
+    jobs arrive periodically, the highest-priority eligible job runs,
+    non-preemptive jobs run to completion once started, exclusion
+    blocks an instance from starting while an excluded instance is in
+    progress, and precedence/messages gate readiness instance-wise. *)
+
+type policy =
+  | Edf  (** earliest absolute deadline first *)
+  | Rm  (** rate monotonic *)
+  | Dm  (** deadline monotonic *)
+
+val policy_to_string : policy -> string
+val all_policies : (string * policy) list
+
+type miss = { task : int; instance : int; time : int }
+
+type result = {
+  feasible : bool;
+  first_miss : miss option;
+  segments : Ezrt_sched.Timeline.segment list;
+      (** execution up to the first miss (or the whole hyper-period) *)
+  preemptions : int;
+}
+
+type fault = {
+  f_task : int;  (** task index *)
+  f_instance : int;
+  f_extra : int;  (** execution-time overrun beyond the WCET *)
+}
+
+val simulate : ?faults:fault list -> policy -> Ezrt_spec.Spec.t -> result
+(** Raises [Failure] when the specification does not validate.
+
+    [faults] inject execution-time overruns; in priority-driven
+    scheduling an overrun steals processor time from other jobs, so —
+    unlike with a pre-runtime table ({!Ezrt_runtime.Vm.isolation_check})
+    — misses can cascade onto healthy tasks. *)

@@ -1,0 +1,1 @@
+lib/blocks/blocks.ml: Ezrt_tpn List Pnet Time_interval

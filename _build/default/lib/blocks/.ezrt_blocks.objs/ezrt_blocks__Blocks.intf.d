@@ -1,0 +1,1 @@
+lib/blocks/blocks.mli: Ezrt_tpn Pnet

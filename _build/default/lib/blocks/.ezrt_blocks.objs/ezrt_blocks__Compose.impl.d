@@ -1,0 +1,1 @@
+lib/blocks/compose.ml: Array Ezrt_tpn List Option Pnet

@@ -1,0 +1,1 @@
+lib/blocks/compose.mli: Ezrt_tpn Pnet

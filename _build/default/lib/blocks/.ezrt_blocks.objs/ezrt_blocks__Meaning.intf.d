@@ -1,0 +1,1 @@
+lib/blocks/meaning.mli:

@@ -1,0 +1,1 @@
+lib/blocks/relations.ml: Blocks Ezrt_tpn Pnet Time_interval

@@ -1,0 +1,1 @@
+lib/blocks/relations.mli: Ezrt_tpn Pnet

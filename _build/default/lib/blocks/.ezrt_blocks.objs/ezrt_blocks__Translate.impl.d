@@ -1,0 +1,1 @@
+lib/blocks/translate.ml: Analysis Array Blocks Ezrt_spec Ezrt_tpn Format List Meaning Option Pnet Printf Relations State String Time_interval

@@ -1,0 +1,1 @@
+lib/blocks/translate.mli: Ezrt_spec Ezrt_tpn Format Meaning Pnet State

@@ -1,0 +1,187 @@
+open Ezrt_tpn
+module B = Pnet.Builder
+
+let prio_deadline_ok = 10
+let prio_finish = 20
+let prio_bookkeeping = 60
+(* Arrivals keep the default priority: excluding them from FT(s)
+   whenever other work is fireable would prune the branches where the
+   processor idles until the next arrival, losing feasible schedules
+   (the greedy-trap case study needs exactly such a branch).  The
+   deadline bookkeeping stays safe because tpc/tf outrank arrivals at
+   simultaneous instants. *)
+let prio_arrival = Pnet.default_priority
+let prio_deadline_miss = 999
+
+let processor_block b name = B.add_place b ~tokens:1 name
+
+let fork_block b ~starts =
+  let pstart = B.add_place b ~tokens:1 "pstart" in
+  let tstart = B.add_transition b "tstart" Time_interval.zero in
+  B.arc_pt b pstart tstart;
+  List.iter (fun pst -> B.arc_tp b tstart pst) starts;
+  (pstart, tstart)
+
+let join_block b ~sources =
+  let pend = B.add_place b "pend" in
+  let tend = B.add_transition b "tend" Time_interval.zero in
+  List.iter (fun (pe, weight) -> B.arc_pt b ~weight pe tend) sources;
+  B.arc_tp b tend pend;
+  (pend, tend)
+
+type arrival = {
+  pwa : Pnet.place_id option;
+  tph : Pnet.transition_id;
+  ta : Pnet.transition_id option;
+}
+
+let arrival_block b ~task ~phase ~period ~instances ~start ~release ~watch =
+  if instances < 1 then invalid_arg "arrival_block: instances < 1";
+  let tph =
+    B.add_transition b ~priority:prio_arrival ("tph_" ^ task)
+      (Time_interval.point phase)
+  in
+  B.arc_pt b start tph;
+  B.arc_tp b tph release;
+  B.arc_tp b tph watch;
+  if instances = 1 then { pwa = None; tph; ta = None }
+  else begin
+    let pwa = B.add_place b ("pwa_" ^ task) in
+    B.arc_tp b tph pwa ~weight:(instances - 1);
+    let ta =
+      B.add_transition b ~priority:prio_arrival ("ta_" ^ task)
+        (Time_interval.point period)
+    in
+    B.arc_pt b pwa ta;
+    B.arc_tp b ta release;
+    B.arc_tp b ta watch;
+    { pwa = Some pwa; tph; ta = Some ta }
+  end
+
+type deadline = {
+  pwd : Pnet.place_id;
+  pdm : Pnet.place_id;
+  pe : Pnet.place_id;
+  td : Pnet.transition_id;
+  tpc : Pnet.transition_id;
+}
+
+let deadline_block b ~task ~deadline ~finished =
+  let pwd = B.add_place b ("pwd_" ^ task) in
+  let pdm = B.add_place b ("pdm_" ^ task) in
+  let pe = B.add_place b ("pe_" ^ task) in
+  let td =
+    B.add_transition b ~priority:prio_deadline_miss ("td_" ^ task)
+      (Time_interval.point deadline)
+  in
+  B.arc_pt b pwd td;
+  B.arc_tp b td pdm;
+  let tpc =
+    B.add_transition b ~priority:prio_deadline_ok ("tpc_" ^ task)
+      Time_interval.zero
+  in
+  B.arc_pt b pwd tpc;
+  B.arc_pt b finished tpc;
+  B.arc_tp b tpc pe;
+  { pwd; pdm; pe; td; tpc }
+
+type structure = {
+  pwr : Pnet.place_id;
+  pf : Pnet.place_id;
+  tw : Pnet.transition_id option;
+  tr : Pnet.transition_id;
+  tf : Pnet.transition_id;
+  tg : Pnet.transition_id;
+  tc : Pnet.transition_id;
+  te : Pnet.transition_id option;
+}
+
+(* When the task has a release offset, a point [r, r] stage anchors it
+   at the period start; the gated release decision then carries the
+   remaining window.  Returns (tw option, release interval, gated
+   input place). *)
+let release_stage b ~task ~release ~wcet ~deadline ~pwr =
+  if release = 0 then (None, Time_interval.make 0 (deadline - wcet), pwr)
+  else begin
+    let pww = B.add_place b ("pww_" ^ task) in
+    let tw = B.add_transition b ("tw_" ^ task) (Time_interval.point release) in
+    B.arc_pt b pwr tw;
+    B.arc_tp b tw pww;
+    (Some tw, Time_interval.make 0 (deadline - wcet - release), pww)
+  end
+
+let non_preemptive_structure b ~task ~release ~wcet ~deadline ~processor
+    ~exclusions =
+  if wcet < 1 then invalid_arg "non_preemptive_structure: wcet < 1";
+  let pwr = B.add_place b ("pwr_" ^ task) in
+  let tw, tr_interval, gated_input =
+    release_stage b ~task ~release ~wcet ~deadline ~pwr
+  in
+  let pwg = B.add_place b ("pwg_" ^ task) in
+  let pwc = B.add_place b ("pwc_" ^ task) in
+  let pwf = B.add_place b ("pwf_" ^ task) in
+  let pf = B.add_place b ("pf_" ^ task) in
+  let tr = B.add_transition b ("tr_" ^ task) tr_interval in
+  B.arc_pt b gated_input tr;
+  B.arc_tp b tr pwg;
+  let tg = B.add_transition b ("tg_" ^ task) Time_interval.zero in
+  B.arc_pt b pwg tg;
+  B.arc_pt b processor tg;
+  List.iter (fun excl -> B.arc_pt b excl tg) exclusions;
+  B.arc_tp b tg pwc;
+  let tc = B.add_transition b ("tc_" ^ task) (Time_interval.point wcet) in
+  B.arc_pt b pwc tc;
+  B.arc_tp b tc pwf;
+  let tf =
+    B.add_transition b ~priority:prio_finish ("tf_" ^ task) Time_interval.zero
+  in
+  B.arc_pt b pwf tf;
+  B.arc_tp b tf pf;
+  B.arc_tp b tf processor;
+  List.iter (fun excl -> B.arc_tp b tf excl) exclusions;
+  { pwr; pf; tw; tr; tf; tg; tc; te = None }
+
+let preemptive_structure b ~task ~release ~wcet ~deadline ~processor ~exclusions
+    =
+  if wcet < 1 then invalid_arg "preemptive_structure: wcet < 1";
+  let pwr = B.add_place b ("pwr_" ^ task) in
+  let tw, tr_interval, gated_input =
+    release_stage b ~task ~release ~wcet ~deadline ~pwr
+  in
+  let pwu = B.add_place b ("pwu_" ^ task) in
+  let pwx = B.add_place b ("pwx_" ^ task) in
+  let pwf = B.add_place b ("pwf_" ^ task) in
+  let pf = B.add_place b ("pf_" ^ task) in
+  let tr = B.add_transition b ("tr_" ^ task) tr_interval in
+  B.arc_pt b gated_input tr;
+  let te =
+    match exclusions with
+    | [] ->
+      (* No exclusion slots to take: the release feeds the unit pool
+         directly. *)
+      B.arc_tp b tr pwu ~weight:wcet;
+      None
+    | _ :: _ ->
+      let pwe = B.add_place b ("pwe_" ^ task) in
+      B.arc_tp b tr pwe;
+      let te = B.add_transition b ("te_" ^ task) Time_interval.zero in
+      B.arc_pt b pwe te;
+      List.iter (fun excl -> B.arc_pt b excl te) exclusions;
+      B.arc_tp b te pwu ~weight:wcet;
+      Some te
+  in
+  let tg = B.add_transition b ("tg_" ^ task) Time_interval.zero in
+  B.arc_pt b pwu tg;
+  B.arc_pt b processor tg;
+  B.arc_tp b tg pwx;
+  let tc = B.add_transition b ("tc_" ^ task) (Time_interval.point 1) in
+  B.arc_pt b pwx tc;
+  B.arc_tp b tc pwf;
+  B.arc_tp b tc processor;
+  let tf =
+    B.add_transition b ~priority:prio_finish ("tf_" ^ task) Time_interval.zero
+  in
+  B.arc_pt b pwf tf ~weight:wcet;
+  B.arc_tp b tf pf;
+  List.iter (fun excl -> B.arc_tp b tf excl) exclusions;
+  { pwr; pf; tw; tr; tf; tg; tc; te }

@@ -1,0 +1,124 @@
+open Ezrt_tpn
+
+(* Rebuild a net through a builder, applying a node-level
+   transformation along the way. *)
+let rebuild ?name ~place_name ~place_tokens ~transition_name (net : Pnet.t) =
+  let b = Pnet.Builder.create (Option.value name ~default:net.Pnet.net_name) in
+  let place_map =
+    Array.init (Pnet.place_count net) (fun p ->
+        Pnet.Builder.add_place b ~tokens:(place_tokens p) (place_name p))
+  in
+  Array.iteri
+    (fun tid (tr : Pnet.transition) ->
+      let id =
+        Pnet.Builder.add_transition b ~priority:tr.Pnet.priority
+          ?code:tr.Pnet.code (transition_name tid) tr.Pnet.interval
+      in
+      Array.iter
+        (fun (p, weight) -> Pnet.Builder.arc_pt b ~weight place_map.(p) id)
+        net.Pnet.pre.(tid);
+      Array.iter
+        (fun (p, weight) -> Pnet.Builder.arc_tp b ~weight id place_map.(p))
+        net.Pnet.post.(tid))
+    net.Pnet.transitions;
+  Pnet.Builder.build b
+
+let rename ~places ~transitions (net : Pnet.t) =
+  rebuild net
+    ~place_name:(fun p -> places (Pnet.place_name net p))
+    ~place_tokens:(fun p -> net.Pnet.m0.(p))
+    ~transition_name:(fun tid -> transitions (Pnet.transition_name net tid))
+
+let prefix prefix net =
+  let add n = prefix ^ n in
+  rename ~places:add ~transitions:add net
+
+let union ?name (a : Pnet.t) (b : Pnet.t) =
+  let name =
+    Option.value name ~default:(a.Pnet.net_name ^ "+" ^ b.Pnet.net_name)
+  in
+  let builder = Pnet.Builder.create name in
+  (* places of [a], then the places of [b] that do not fuse *)
+  let a_place =
+    Array.init (Pnet.place_count a) (fun p ->
+        Pnet.Builder.add_place builder ~tokens:a.Pnet.m0.(p)
+          (Pnet.place_name a p))
+  in
+  let b_place =
+    Array.init (Pnet.place_count b) (fun p ->
+        let pname = Pnet.place_name b p in
+        match Pnet.find_place_opt a pname with
+        | Some ap ->
+          (* fusion: markings add *)
+          Pnet.Builder.add_tokens builder a_place.(ap) b.Pnet.m0.(p);
+          a_place.(ap)
+        | None -> Pnet.Builder.add_place builder ~tokens:b.Pnet.m0.(p) pname)
+  in
+  let copy_transitions (net : Pnet.t) place_of =
+    Array.iteri
+      (fun tid (tr : Pnet.transition) ->
+        let id =
+          Pnet.Builder.add_transition builder ~priority:tr.Pnet.priority
+            ?code:tr.Pnet.code tr.Pnet.t_name tr.Pnet.interval
+        in
+        Array.iter
+          (fun (p, weight) -> Pnet.Builder.arc_pt builder ~weight (place_of p) id)
+          net.Pnet.pre.(tid);
+        Array.iter
+          (fun (p, weight) -> Pnet.Builder.arc_tp builder ~weight id (place_of p))
+          net.Pnet.post.(tid))
+      net.Pnet.transitions
+  in
+  copy_transitions a (fun p -> a_place.(p));
+  copy_transitions b (fun p -> b_place.(p));
+  Pnet.Builder.build builder
+
+let union_all ?name = function
+  | [] -> invalid_arg "Compose.union_all: empty list"
+  | first :: rest ->
+    let merged = List.fold_left (fun acc net -> union acc net) first rest in
+    (match name with
+    | Some name ->
+      rebuild ~name merged
+        ~place_name:(Pnet.place_name merged)
+        ~place_tokens:(fun p -> merged.Pnet.m0.(p))
+        ~transition_name:(Pnet.transition_name merged)
+    | None -> merged)
+
+let add_arc (net : Pnet.t) ~from ~into ?(weight = 1) () =
+  let b = Pnet.Builder.create net.Pnet.net_name in
+  let place_map =
+    Array.init (Pnet.place_count net) (fun p ->
+        Pnet.Builder.add_place b ~tokens:net.Pnet.m0.(p) (Pnet.place_name net p))
+  in
+  let trans_map =
+    Array.mapi
+      (fun tid (tr : Pnet.transition) ->
+        let id =
+          Pnet.Builder.add_transition b ~priority:tr.Pnet.priority
+            ?code:tr.Pnet.code tr.Pnet.t_name tr.Pnet.interval
+        in
+        Array.iter
+          (fun (p, weight) -> Pnet.Builder.arc_pt b ~weight place_map.(p) id)
+          net.Pnet.pre.(tid);
+        Array.iter
+          (fun (p, weight) -> Pnet.Builder.arc_tp b ~weight id place_map.(p))
+          net.Pnet.post.(tid);
+        id)
+      net.Pnet.transitions
+  in
+  (match
+     ( Pnet.find_place_opt net from, Pnet.find_transition_opt net into,
+       Pnet.find_transition_opt net from, Pnet.find_place_opt net into )
+   with
+  | Some p, Some t, _, _ -> Pnet.Builder.arc_pt b ~weight place_map.(p) trans_map.(t)
+  | _, _, Some t, Some p -> Pnet.Builder.arc_tp b ~weight trans_map.(t) place_map.(p)
+  | _, _, _, _ -> raise Not_found);
+  Pnet.Builder.build b
+
+let marked (net : Pnet.t) pname tokens =
+  let target = Pnet.find_place net pname in
+  rebuild net
+    ~place_name:(Pnet.place_name net)
+    ~place_tokens:(fun p -> if p = target then tokens else net.Pnet.m0.(p))
+    ~transition_name:(Pnet.transition_name net)

@@ -1,0 +1,47 @@
+(** Net composition operators (paper §3.3: "the proposed modeling
+    method is conducted by building block compositions.  This work
+    adopts several operators for building block compositions", citing
+    Barreto's thesis for the details).
+
+    These operators work on whole nets by node *name*: disjoint union
+    glues two partial models, place fusion merges same-named interface
+    places (the thesis' place-merging operator — how a task structure's
+    processor place is identified with the global processor), and
+    renaming creates instances of a generic block.  {!Translate} builds
+    its nets directly for speed; this module provides the paper's
+    compositional style for building nets by hand and is exercised by
+    tests that reassemble a task model from loose blocks. *)
+
+open Ezrt_tpn
+
+val rename :
+  places:(string -> string) ->
+  transitions:(string -> string) ->
+  Pnet.t ->
+  Pnet.t
+(** Apply renaming functions to every node name.  Raises
+    [Invalid_argument] if the renaming collapses two distinct names. *)
+
+val prefix : string -> Pnet.t -> Pnet.t
+(** [prefix "T1_" net] — the common instantiation renaming. *)
+
+val union : ?name:string -> Pnet.t -> Pnet.t -> Pnet.t
+(** Disjoint union; same-named places are *fused* (their initial
+    markings added, arcs redirected to the single survivor) — this is
+    the merge operator, so gluing happens by giving interface places
+    equal names.  Same-named transitions are an error
+    ([Invalid_argument]): transitions are never shared between
+    blocks. *)
+
+val union_all : ?name:string -> Pnet.t list -> Pnet.t
+(** Left fold of {!union}.  Raises [Invalid_argument] on an empty
+    list. *)
+
+val add_arc :
+  Pnet.t -> from:string -> into:string -> ?weight:int -> unit -> Pnet.t
+(** Post-composition wiring: adds one arc between a place and a
+    transition identified by name (direction inferred from which name
+    is a place).  Raises [Not_found] if neither direction matches. *)
+
+val marked : Pnet.t -> string -> int -> Pnet.t
+(** Override the initial marking of a named place. *)

@@ -1,0 +1,55 @@
+type t =
+  | Start
+  | End
+  | Phase_arrival of int
+  | Arrival of int
+  | Release_wait of int
+  | Release of int
+  | Grab of int
+  | Compute of int
+  | Unit_grab of int
+  | Unit_compute of int
+  | Excl_grab of int
+  | Finish of int
+  | Deadline_ok of int
+  | Deadline_miss of int
+  | Cycle_overrun
+  | Precedence of int * int
+  | Msg_grant of int
+  | Msg_transfer of int
+
+let task_index = function
+  | Phase_arrival i
+  | Arrival i
+  | Release_wait i
+  | Release i
+  | Grab i
+  | Compute i
+  | Unit_grab i
+  | Unit_compute i
+  | Excl_grab i
+  | Finish i
+  | Deadline_ok i
+  | Deadline_miss i -> Some i
+  | Start | End | Cycle_overrun | Precedence _ | Msg_grant _ | Msg_transfer _ ->
+    None
+
+let to_string = function
+  | Start -> "start"
+  | End -> "end"
+  | Phase_arrival i -> Printf.sprintf "phase-arrival(%d)" i
+  | Arrival i -> Printf.sprintf "arrival(%d)" i
+  | Release_wait i -> Printf.sprintf "release-wait(%d)" i
+  | Release i -> Printf.sprintf "release(%d)" i
+  | Grab i -> Printf.sprintf "grab(%d)" i
+  | Compute i -> Printf.sprintf "compute(%d)" i
+  | Unit_grab i -> Printf.sprintf "unit-grab(%d)" i
+  | Unit_compute i -> Printf.sprintf "unit-compute(%d)" i
+  | Excl_grab i -> Printf.sprintf "excl-grab(%d)" i
+  | Finish i -> Printf.sprintf "finish(%d)" i
+  | Deadline_ok i -> Printf.sprintf "deadline-ok(%d)" i
+  | Deadline_miss i -> Printf.sprintf "deadline-miss(%d)" i
+  | Cycle_overrun -> "cycle-overrun"
+  | Precedence (i, j) -> Printf.sprintf "precedence(%d,%d)" i j
+  | Msg_grant m -> Printf.sprintf "msg-grant(%d)" m
+  | Msg_transfer m -> Printf.sprintf "msg-transfer(%d)" m

@@ -1,0 +1,46 @@
+(** Semantic role of each transition in a generated net.
+
+    The TPN library is agnostic about what its transitions mean; the
+    translation keeps this side table so that the scheduler can turn a
+    feasible firing schedule back into task-level execution segments.
+    Task and message arguments are indices into the specification's
+    task/message lists. *)
+
+type t =
+  | Start  (** the fork block's [tstart] *)
+  | End  (** the join block's [tend]; firing it reaches [MF] *)
+  | Phase_arrival of int  (** [tph_i]: first arrival after the phase *)
+  | Arrival of int  (** [ta_i]: each subsequent periodic arrival *)
+  | Release_wait of int
+      (** [tw_i]: anchors the release offset at the period start — a
+          point [r, r] delay between arrival and the release decision,
+          present only when [r > 0].  Without it a precedence or
+          message token arriving later than the arrival would re-add
+          [r] on top of the delivery time. *)
+  | Release of int
+      (** [tr_i]: the (gated) release decision; window [r, d-c] when
+          the task has no wait stage, [0, d-c-r] after one *)
+  | Grab of int  (** [tg_i] (non-preemptive): processor acquisition *)
+  | Compute of int
+      (** [tc_i] (non-preemptive): fires when the whole computation
+          completes, [c] units after {!Grab} *)
+  | Unit_grab of int  (** preemptive: acquire processor for one unit *)
+  | Unit_compute of int  (** preemptive: one unit done, processor freed *)
+  | Excl_grab of int
+      (** preemptive task with exclusions: acquire every exclusion slot
+          before the first unit *)
+  | Finish of int  (** [tf_i]: instance wrap-up *)
+  | Deadline_ok of int  (** [tpc_i]: the instance met its deadline *)
+  | Deadline_miss of int  (** [td_i]: firing it marks [pdm_i] *)
+  | Cycle_overrun
+      (** [tcyc]: fires when the hyper-period elapses before the final
+          marking — the schedule would not fit one cycle of the table,
+          so the run is a dead end (cyclic-executive semantics) *)
+  | Precedence of int * int  (** [tprec_ij] forwarding a finish token *)
+  | Msg_grant of int  (** message m acquires its bus *)
+  | Msg_transfer of int  (** message m transfer complete, bus freed *)
+
+val task_index : t -> int option
+(** The task a transition belongs to, when it belongs to one. *)
+
+val to_string : t -> string

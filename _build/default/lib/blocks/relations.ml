@@ -1,0 +1,54 @@
+open Ezrt_tpn
+module B = Pnet.Builder
+
+type precedence = {
+  pwp : Pnet.place_id;
+  pprec : Pnet.place_id;
+  tprec : Pnet.transition_id;
+}
+
+let add_precedence b ~name ~finish_of_pred ~release_of_succ =
+  let pwp = B.add_place b ("pwp_" ^ name) in
+  let pprec = B.add_place b ("pprec_" ^ name) in
+  let tprec =
+    B.add_transition b ~priority:Blocks.prio_bookkeeping ("tprec_" ^ name)
+      Time_interval.zero
+  in
+  B.arc_tp b finish_of_pred pwp;
+  B.arc_pt b pwp tprec;
+  B.arc_tp b tprec pprec;
+  B.arc_pt b pprec release_of_succ;
+  { pwp; pprec; tprec }
+
+let exclusion_place b ~name = B.add_place b ~tokens:1 ("pexcl_" ^ name)
+
+type comm = {
+  ps : Pnet.place_id;
+  pc : Pnet.place_id;
+  pd : Pnet.place_id;
+  tsm : Pnet.transition_id;
+  tcm : Pnet.transition_id;
+}
+
+let add_message b ~name ~bus ~grant_time ~comm_time ~finish_of_sender
+    ~release_of_receiver =
+  if grant_time < 0 || comm_time < 0 then
+    invalid_arg "add_message: negative communication time";
+  let ps = B.add_place b ("ps_" ^ name) in
+  let pc = B.add_place b ("pc_" ^ name) in
+  let pd = B.add_place b ("pd_" ^ name) in
+  let tsm =
+    B.add_transition b ("tsm_" ^ name) (Time_interval.point grant_time)
+  in
+  let tcm =
+    B.add_transition b ("tcm_" ^ name) (Time_interval.point comm_time)
+  in
+  B.arc_tp b finish_of_sender ps;
+  B.arc_pt b ps tsm;
+  B.arc_pt b bus tsm;
+  B.arc_tp b tsm pc;
+  B.arc_pt b pc tcm;
+  B.arc_tp b tcm pd;
+  B.arc_tp b tcm bus;
+  B.arc_pt b pd release_of_receiver;
+  { ps; pc; pd; tsm; tcm }

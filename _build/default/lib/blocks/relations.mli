@@ -1,0 +1,50 @@
+(** Net surgery for inter-task relations (paper §3.3.2, Figs 3–4) and
+    for inter-task messages. *)
+
+open Ezrt_tpn
+
+type precedence = {
+  pwp : Pnet.place_id;  (** finish tokens of the predecessor *)
+  pprec : Pnet.place_id;  (** forwarded tokens gating the successor *)
+  tprec : Pnet.transition_id;
+}
+
+val add_precedence :
+  Pnet.Builder.t ->
+  name:string ->
+  finish_of_pred :Pnet.transition_id ->
+  release_of_succ :Pnet.transition_id ->
+  precedence
+(** Fig 3: the predecessor's [tf] banks a token on [pwp]; the immediate
+    [tprec] forwards it to [pprec], which becomes an extra input of the
+    successor's [tr] — instance [k] of the successor can only release
+    after instance [k] of the predecessor finished. *)
+
+val exclusion_place : Pnet.Builder.t -> name:string -> Pnet.place_id
+(** Fig 4: one marked slot shared by the two excluded tasks.  The task
+    structure blocks take it for the whole computation (and the whole
+    instance for preemptive tasks), so executions of the pair never
+    interleave. *)
+
+type comm = {
+  ps : Pnet.place_id;  (** message pending *)
+  pc : Pnet.place_id;  (** bus granted, transferring *)
+  pd : Pnet.place_id;  (** delivered *)
+  tsm : Pnet.transition_id;  (** grant, interval [g, g] *)
+  tcm : Pnet.transition_id;  (** transfer, interval [cm, cm] *)
+}
+
+val add_message :
+  Pnet.Builder.t ->
+  name:string ->
+  bus:Pnet.place_id ->
+  grant_time:int ->
+  comm_time:int ->
+  finish_of_sender:Pnet.transition_id ->
+  release_of_receiver:Pnet.transition_id ->
+  comm
+(** Inter-task communication: the sender's [tf] posts the message; the
+    grant stage occupies the bus for [g] units, the transfer for [cm]
+    more; the delivered token gates the receiver's release.  The bus is
+    a resource distinct from the processor, so communication overlaps
+    computation. *)

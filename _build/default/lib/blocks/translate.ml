@@ -1,0 +1,249 @@
+open Ezrt_tpn
+module B = Pnet.Builder
+module Spec = Ezrt_spec.Spec
+module Task = Ezrt_spec.Task
+module Message = Ezrt_spec.Message
+module Validate = Ezrt_spec.Validate
+
+type t = {
+  net : Pnet.t;
+  spec : Spec.t;
+  tasks : Task.t array;
+  meanings : Meaning.t array;
+  instance_counts : int array;
+  horizon : int;
+  final_place : Pnet.place_id;
+  dead_places : Pnet.place_id list;
+  deadline_watch : Pnet.transition_id array;
+  progress : (Pnet.place_id * Pnet.place_id) option array;
+  processor_place : Pnet.place_id;
+  resource_places : Pnet.place_id list;
+}
+
+let translate spec =
+  Validate.check_exn spec;
+  let tasks = Array.of_list spec.Spec.tasks in
+  let n_tasks = Array.length tasks in
+  let horizon = Spec.hyperperiod spec in
+  let instance_counts =
+    Array.map (fun task -> Task.instances_in task horizon) tasks
+  in
+  let b = B.create spec.Spec.name in
+  let meanings : (int * Meaning.t) list ref = ref [] in
+  let note tid meaning = meanings := (tid, meaning) :: !meanings in
+  (* (i-pre) Resources: the processor, exclusion slots, buses. *)
+  let pproc = Blocks.processor_block b "pproc" in
+  let index_of_id id =
+    let rec go i =
+      if i >= n_tasks then raise Not_found
+      else if String.equal tasks.(i).Task.id id then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let exclusion_slots =
+    List.map
+      (fun (a, b_id) ->
+        let ia = index_of_id a and ib = index_of_id b_id in
+        let name =
+          Printf.sprintf "%s_%s" tasks.(ia).Task.name tasks.(ib).Task.name
+        in
+        ((ia, ib), Relations.exclusion_place b ~name))
+      spec.Spec.exclusions
+  in
+  let exclusions_of i =
+    List.filter_map
+      (fun ((ia, ib), place) ->
+        if ia = i || ib = i then Some place else None)
+      exclusion_slots
+  in
+  let buses =
+    List.sort_uniq compare
+      (List.map (fun (m : Message.t) -> m.Message.bus) spec.Spec.messages)
+  in
+  let bus_places =
+    List.map (fun bus -> (bus, B.add_place b ~tokens:1 ("pbus_" ^ bus))) buses
+  in
+  (* (i) Arrival, deadline and structure blocks per task. *)
+  let structures =
+    Array.mapi
+      (fun i task ->
+        let name = task.Task.name in
+        let build_structure =
+          match task.Task.mode with
+          | Task.Non_preemptive -> Blocks.non_preemptive_structure
+          | Task.Preemptive -> Blocks.preemptive_structure
+        in
+        let st =
+          build_structure b ~task:name ~release:task.Task.release
+            ~wcet:task.Task.wcet ~deadline:task.Task.deadline ~processor:pproc
+            ~exclusions:(exclusions_of i)
+        in
+        note st.Blocks.tr (Meaning.Release i);
+        Option.iter (fun tw -> note tw (Meaning.Release_wait i)) st.Blocks.tw;
+        note st.Blocks.tf (Meaning.Finish i);
+        (match task.Task.mode with
+        | Task.Non_preemptive ->
+          note st.Blocks.tg (Meaning.Grab i);
+          note st.Blocks.tc (Meaning.Compute i)
+        | Task.Preemptive ->
+          note st.Blocks.tg (Meaning.Unit_grab i);
+          note st.Blocks.tc (Meaning.Unit_compute i));
+        Option.iter (fun te -> note te (Meaning.Excl_grab i)) st.Blocks.te;
+        let dl =
+          Blocks.deadline_block b ~task:name ~deadline:task.Task.deadline
+            ~finished:st.Blocks.pf
+        in
+        note dl.Blocks.td (Meaning.Deadline_miss i);
+        note dl.Blocks.tpc (Meaning.Deadline_ok i);
+        let pst = B.add_place b ("pst_" ^ name) in
+        let arr =
+          Blocks.arrival_block b ~task:name ~phase:task.Task.phase
+            ~period:task.Task.period ~instances:instance_counts.(i) ~start:pst
+            ~release:st.Blocks.pwr ~watch:dl.Blocks.pwd
+        in
+        note arr.Blocks.tph (Meaning.Phase_arrival i);
+        Option.iter (fun ta -> note ta (Meaning.Arrival i)) arr.Blocks.ta;
+        (pst, st, dl))
+      tasks
+  in
+  (* (ii) Precedence relations. *)
+  List.iter
+    (fun (a, b_id) ->
+      let ia = index_of_id a and ib = index_of_id b_id in
+      let _, st_a, _ = structures.(ia) and _, st_b, _ = structures.(ib) in
+      let name =
+        Printf.sprintf "%s_%s" tasks.(ia).Task.name tasks.(ib).Task.name
+      in
+      let rel =
+        Relations.add_precedence b ~name ~finish_of_pred:st_a.Blocks.tf
+          ~release_of_succ:st_b.Blocks.tr
+      in
+      note rel.Relations.tprec (Meaning.Precedence (ia, ib)))
+    spec.Spec.precedences;
+  (* (iii) Inter-task communications. *)
+  List.iteri
+    (fun mi (m : Message.t) ->
+      let ia = index_of_id m.Message.sender
+      and ib = index_of_id m.Message.receiver in
+      let _, st_a, _ = structures.(ia) and _, st_b, _ = structures.(ib) in
+      let bus = List.assoc m.Message.bus bus_places in
+      let comm =
+        Relations.add_message b ~name:m.Message.name ~bus
+          ~grant_time:m.Message.grant_time ~comm_time:m.Message.comm_time
+          ~finish_of_sender:st_a.Blocks.tf ~release_of_receiver:st_b.Blocks.tr
+      in
+      note comm.Relations.tsm (Meaning.Msg_grant mi);
+      note comm.Relations.tcm (Meaning.Msg_transfer mi))
+    spec.Spec.messages;
+  (* (iv) Fork and (v) join. *)
+  let starts = Array.to_list (Array.map (fun (pst, _, _) -> pst) structures) in
+  let _, tstart = Blocks.fork_block b ~starts in
+  note tstart Meaning.Start;
+  let sources =
+    Array.to_list
+      (Array.mapi (fun i (_, _, dl) -> (dl.Blocks.pe, instance_counts.(i)))
+         structures)
+  in
+  let pend, tend = Blocks.join_block b ~sources in
+  note tend Meaning.End;
+  (* Cyclic-executive semantics: the whole hyper-period's work must
+     complete within the hyper-period, or the schedule table cannot
+     repeat.  A watchdog armed at the start forces the final marking by
+     [horizon]: runs that would spill into the next cycle hit a dead
+     marking instead. *)
+  let pcyc = B.add_place b ~tokens:1 "pcyc" in
+  let pcm = B.add_place b "pcm" in
+  let tcyc =
+    B.add_transition b ~priority:Blocks.prio_deadline_miss "tcyc"
+      (Time_interval.point horizon)
+  in
+  B.arc_pt b pcyc tcyc;
+  B.arc_tp b tcyc pcm;
+  B.arc_pt b pcyc tend;
+  note tcyc Meaning.Cycle_overrun;
+  let net = B.build b in
+  let meaning_table = Array.make (Pnet.transition_count net) Meaning.Start in
+  List.iter (fun (tid, m) -> meaning_table.(tid) <- m) !meanings;
+  {
+    net;
+    spec;
+    tasks;
+    meanings = meaning_table;
+    instance_counts;
+    horizon;
+    final_place = pend;
+    dead_places =
+      pcm
+      :: Array.to_list (Array.map (fun (_, _, dl) -> dl.Blocks.pdm) structures);
+    deadline_watch = Array.map (fun (_, _, dl) -> dl.Blocks.td) structures;
+    progress =
+      Array.map
+        (fun task ->
+          match task.Task.mode with
+          | Task.Non_preemptive -> None
+          | Task.Preemptive ->
+            Some
+              ( Pnet.find_place net ("pwu_" ^ task.Task.name),
+                Pnet.find_place net ("pwx_" ^ task.Task.name) ))
+        tasks;
+    processor_place = pproc;
+    resource_places =
+      (pproc :: List.map snd bus_places) @ List.map snd exclusion_slots;
+  }
+
+let is_final model (s : State.t) = s.State.marking.(model.final_place) >= 1
+
+let is_dead model (s : State.t) =
+  List.exists (fun pdm -> s.State.marking.(pdm) > 0) model.dead_places
+
+let task_index model id =
+  let n = Array.length model.tasks in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal model.tasks.(i).Task.id id then i
+    else go (i + 1)
+  in
+  go 0
+
+let required_firings model =
+  let count tid =
+    let instances i = model.instance_counts.(i) in
+    match model.meanings.(tid) with
+    | Meaning.Start | Meaning.End -> 1
+    | Meaning.Phase_arrival _ -> 1
+    | Meaning.Arrival i -> instances i - 1
+    | Meaning.Release_wait i
+    | Meaning.Release i
+    | Meaning.Grab i
+    | Meaning.Compute i
+    | Meaning.Excl_grab i
+    | Meaning.Finish i
+    | Meaning.Deadline_ok i -> instances i
+    | Meaning.Unit_grab i | Meaning.Unit_compute i ->
+      instances i * model.tasks.(i).Task.wcet
+    | Meaning.Deadline_miss _ | Meaning.Cycle_overrun -> 0
+    | Meaning.Precedence (i, _) -> instances i
+    | Meaning.Msg_grant mi | Meaning.Msg_transfer mi ->
+      let m = List.nth model.spec.Spec.messages mi in
+      instances (task_index model m.Message.sender)
+  in
+  Array.init (Pnet.transition_count model.net) count
+
+let minimum_firings model =
+  Array.fold_left ( + ) 0 (required_firings model)
+
+let minimum_states model = minimum_firings model + 1
+
+let pp_inventory fmt model =
+  let st = Analysis.structure model.net in
+  Format.fprintf fmt "net %s: %a@." model.spec.Spec.name Analysis.pp_structure
+    st;
+  Array.iteri
+    (fun i task ->
+      Format.fprintf fmt "  task %-10s N=%-4d mode=%s@." task.Task.name
+        model.instance_counts.(i)
+        (Task.scheduling_mode_to_string task.Task.mode))
+    model.tasks;
+  Format.fprintf fmt "  minimum firings to MF: %d (states: %d)@."
+    (minimum_firings model) (minimum_states model)

@@ -1,0 +1,67 @@
+(** The ezRealtime2PNML translation: specification -> time Petri net.
+
+    Follows the composition order of paper §4.3: (i) arrival, deadline
+    and task structure blocks for each task; (ii) precedence and
+    exclusion relations; (iii) inter-task communications; (iv) the fork
+    block; (v) the join block.  The desired final marking [MF] is the
+    join's [pend] place holding one token. *)
+
+open Ezrt_tpn
+
+type t = {
+  net : Pnet.t;
+  spec : Ezrt_spec.Spec.t;
+  tasks : Ezrt_spec.Task.t array;  (** indexable copy of the task list *)
+  meanings : Meaning.t array;  (** by transition id *)
+  instance_counts : int array;  (** [N(ti)] by task index *)
+  horizon : int;  (** the schedule period [PS] *)
+  final_place : Pnet.place_id;  (** [pend]; [MF] marks it once *)
+  dead_places : Pnet.place_id list;  (** the [pdm_i] markers *)
+  deadline_watch : Pnet.transition_id array;
+      (** [td_i] by task index; its clock measures the time since the
+          current instance arrived, so [DUB(td_i)] is the task's
+          dynamic slack *)
+  progress : (Pnet.place_id * Pnet.place_id) option array;
+      (** preemptive tasks only: [(pwu_i, pwx_i)] — pending units and
+          the in-flight unit.  A marked [pwx] or a partially drained
+          [pwu] means the instance has started; used by
+          preemption-avoiding search policies *)
+  processor_place : Pnet.place_id;
+  resource_places : Pnet.place_id list;
+      (** processor, buses and exclusion slots — places that must stay
+          safe (at most one token) in every reachable state *)
+}
+
+val translate : Ezrt_spec.Spec.t -> t
+(** Raises [Failure] when the specification does not validate, and
+    [Invalid_argument] on a task with [wcet < 1] (the building blocks
+    need at least one computation unit). *)
+
+val is_final : t -> State.t -> bool
+(** The state reached the desired final marking [MF]. *)
+
+val is_dead : t -> State.t -> bool
+(** Some deadline-missed place is marked: the branch cannot extend to a
+    feasible schedule. *)
+
+val task_index : t -> string -> int
+(** Index of a task id; raises [Not_found]. *)
+
+val required_firings : t -> int array
+(** How many times each transition must fire on any run reaching [MF]
+    (0 for the deadline-miss transitions).  Derived from the instance
+    counts and the block structure. *)
+
+val minimum_firings : t -> int
+(** Sum of {!required_firings} — the length of an ideal,
+    backtrack-free feasible firing schedule. *)
+
+val minimum_states : t -> int
+(** [minimum_firings + 1]: states on an ideal run, counting the
+    initial state.  This is our analogue of the paper's "minimum number
+    of states" (3130 for the mine pump); see DESIGN.md on the two
+    accounting conventions. *)
+
+val pp_inventory : Format.formatter -> t -> unit
+(** Per-block node inventory (used to regenerate the Fig 1-4 structure
+    tables). *)

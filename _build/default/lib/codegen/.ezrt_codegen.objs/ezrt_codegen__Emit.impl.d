@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Buffer Ezrt_blocks Ezrt_sched Ezrt_spec List Option Printf String Target

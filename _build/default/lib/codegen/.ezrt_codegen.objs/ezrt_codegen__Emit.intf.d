@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Ezrt_blocks Ezrt_sched Target

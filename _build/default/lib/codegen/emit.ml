@@ -1,0 +1,321 @@
+module Translate = Ezrt_blocks.Translate
+module Table = Ezrt_sched.Table
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+
+let c_identifier name =
+  let mangled =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  match mangled.[0] with
+  | '0' .. '9' -> "T" ^ mangled
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> mangled
+  | _ -> "T" ^ mangled
+  | exception Invalid_argument _ -> "T_anonymous"
+
+let task_fn model i =
+  c_identifier model.Translate.tasks.(i).Task.name
+
+let schedule_table model items =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "struct ScheduleItem scheduleTable[EZRT_SCHEDULE_SIZE] = {\n";
+  let rows = List.length items in
+  List.iteri
+    (fun row item ->
+      let comma = if row = rows - 1 then " " else "," in
+      out "    {%4d, %-5s, %d, %s}%s /* %s */\n" item.Table.start
+        (if item.Table.resumed then "true" else "false")
+        (item.Table.task + 1)
+        (task_fn model item.Table.task)
+        comma
+        (Table.row_comment model item))
+    items;
+  out "};\n";
+  Buffer.contents buf
+
+let task_definition model i =
+  let task = model.Translate.tasks.(i) in
+  let fn = task_fn model i in
+  let buf = Buffer.create 256 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "void %s(void)\n{\n" fn;
+  out "#ifdef EZRT_TRACE\n";
+  out "    printf(\"t=%%ld run %s\\n\", ezrt_now);\n" fn;
+  out "#endif\n";
+  (match task.Task.code with
+  | Some code ->
+    out "#ifdef EZRT_USER_CODE\n";
+    List.iter
+      (fun line -> out "    %s\n" line)
+      (String.split_on_char '\n' code);
+    out "#endif\n"
+  | None -> out "    /* no behavioural source provided */\n");
+  out "}\n";
+  Buffer.contents buf
+
+type layout =
+  | Struct_table
+  | Compact_table
+
+type footprint = {
+  rows : int;
+  row_bytes : int;
+  table_bytes : int;
+  fits_flash : bool option;
+}
+
+let check_compact_limits model items =
+  let n_tasks = Array.length model.Translate.tasks in
+  if n_tasks > 127 then
+    invalid_arg "Emit: Compact_table supports at most 127 tasks";
+  if model.Translate.horizon > 0xffff then
+    invalid_arg "Emit: Compact_table needs a hyper-period below 65536";
+  List.iter
+    (fun item ->
+      if item.Table.start > 0xffff then
+        invalid_arg "Emit: Compact_table start time exceeds 16 bits")
+    items
+
+(* start-time deltas between consecutive rows; the first delta is from
+   the cycle base *)
+let deltas items =
+  let rec go prev = function
+    | [] -> []
+    | item :: rest -> (item.Table.start - prev, item) :: go item.Table.start rest
+  in
+  go 0 items
+
+let compact_tables model items =
+  check_compact_limits model items;
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let rows = List.length items in
+  out "/* compact layout: 16-bit start deltas + packed flag/task byte\n";
+  out "   (3 bytes per row vs sizeof(struct ScheduleItem)) */\n";
+  out "static const unsigned short ezrt_delta[EZRT_SCHEDULE_SIZE] = {\n    ";
+  List.iteri
+    (fun i (delta, _) ->
+      out "%d%s" delta
+        (if i = rows - 1 then "\n" else if (i + 1) mod 12 = 0 then ",\n    " else ", "))
+    (deltas items);
+  out "};\n";
+  out "static const unsigned char ezrt_tf[EZRT_SCHEDULE_SIZE] = {\n    ";
+  List.iteri
+    (fun i item ->
+      let packed =
+        (item.Table.task + 1) lor (if item.Table.resumed then 0x80 else 0)
+      in
+      out "0x%02x%s" packed
+        (if i = rows - 1 then "\n" else if (i + 1) mod 12 = 0 then ",\n    " else ", "))
+    items;
+  out "};\n";
+  out "static void (*const ezrt_task_fn[EZRT_TASK_COUNT])(void) = {\n";
+  let n_tasks = Array.length model.Translate.tasks in
+  for i = 0 to n_tasks - 1 do
+    out "    %s%s\n" (task_fn model i) (if i = n_tasks - 1 then "" else ",")
+  done;
+  out "};\n";
+  Buffer.contents buf
+
+(* layout of struct ScheduleItem (start_time, flag, task_id and the
+   function pointer) under natural alignment *)
+
+(* layout of struct ScheduleItem (start_time, flag, task_id and the
+   function pointer) under natural alignment *)
+let table_footprint ?(layout = Struct_table) (target : Target.t) items =
+  let rows = List.length items in
+  let row_bytes, fixed =
+    match layout with
+    | Compact_table ->
+      (* u16 delta + u8 packed; the function table is a fixed cost *)
+      (3, 0)
+    | Struct_table ->
+      let int_b = target.Target.int_bytes in
+      let ptr_b = target.Target.pointer_bytes in
+      let align offset a = (offset + a - 1) / a * a in
+      let offset = int_b in          (* start_time *)
+      let offset = offset + 1 in     (* flag *)
+      let offset = align offset int_b + int_b in  (* task_id *)
+      let offset = align offset ptr_b + ptr_b in  (* task pointer *)
+      (align offset (max int_b ptr_b), 0)
+  in
+  let table_bytes = (rows * row_bytes) + fixed in
+  {
+    rows;
+    row_bytes;
+    table_bytes;
+    fits_flash =
+      Option.map (fun budget -> table_bytes <= budget)
+        target.Target.flash_bytes;
+  }
+
+let trace_line_of_item model ~base item =
+  let time = base + item.Table.start in
+  let verb = if item.Table.resumed then "resume" else "run" in
+  Printf.sprintf "t=%d %s %s" time verb (task_fn model item.Table.task)
+
+let isr_signature (target : Target.t) =
+  (* SDCC's 8051 dialect puts the interrupt keyword after the
+     parameter list; GCC-style attributes go in front. *)
+  if target.Target.isr_qualifier = "" then "void ezrt_timer_isr(void)"
+  else if String.length target.Target.isr_qualifier >= 11
+          && String.sub target.Target.isr_qualifier 0 11 = "__interrupt"
+  then Printf.sprintf "void ezrt_timer_isr(void) %s" target.Target.isr_qualifier
+  else Printf.sprintf "%s void ezrt_timer_isr(void)" target.Target.isr_qualifier
+
+let program ?(target = Target.hosted) ?(layout = Struct_table) model items =
+  (match layout with
+  | Compact_table -> check_compact_limits model items
+  | Struct_table -> ());
+  let spec = model.Translate.spec in
+  let n_tasks = Array.length model.Translate.tasks in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let outl lines = List.iter (fun l -> out "%s\n" l) lines in
+  out "/*\n";
+  out " * Scheduled code generated by ezRealtime.\n";
+  out " * specification : %s\n" spec.Spec.name;
+  out " * target        : %s (%s)\n" target.Target.name
+    target.Target.description;
+  out " * hyper-period  : %d time units, %d schedule rows\n"
+    model.Translate.horizon (List.length items);
+  out " * dispatcher overhead budget: %d time unit(s)\n" spec.Spec.disp_overhead;
+  out " */\n\n";
+  List.iter (fun inc -> out "#include %s\n" inc) target.Target.includes;
+  out "\n#define EZRT_SCHEDULE_SIZE %d\n" (List.length items);
+  out "#define EZRT_HYPER_PERIOD %d\n" model.Translate.horizon;
+  out "#define EZRT_TASK_COUNT %d\n\n" n_tasks;
+  outl target.Target.glue;
+  out "\nstatic long ezrt_now;\n\n";
+  out "/* ---- task codes (EZRT_USER_CODE compiles the behavioural\n";
+  out "   sources; EZRT_TRACE prints each activation) ---- */\n\n";
+  for i = 0 to n_tasks - 1 do
+    out "%s\n" (task_definition model i)
+  done;
+  out "/* ---- schedule table: one row per execution part ---- */\n\n";
+  (match layout with
+  | Struct_table ->
+    out "struct ScheduleItem {\n";
+    out "    int start_time;\n";
+    out "    bool flag;       /* true: instance was preempted before */\n";
+    out "    int task_id;\n";
+    out "    void (*task)(void);\n";
+    out "};\n\n";
+    out "%s\n" (schedule_table model items)
+  | Compact_table -> out "%s\n" (compact_tables model items));
+  out "#ifdef EZRT_TRACE\n";
+  out "static const char *ezrt_task_name[EZRT_TASK_COUNT] = {\n";
+  for i = 0 to n_tasks - 1 do
+    out "    \"%s\"%s\n" (task_fn model i) (if i = n_tasks - 1 then "" else ",")
+  done;
+  out "};\n";
+  out "#endif\n\n";
+  out "/* ---- context switching hooks (platform specific) ---- */\n\n";
+  out "#ifndef EZRT_SAVE_CONTEXT\n#define EZRT_SAVE_CONTEXT(id)\n#endif\n";
+  out "#ifndef EZRT_RESTORE_CONTEXT\n#define EZRT_RESTORE_CONTEXT(id)\n#endif\n\n";
+  out "static int ezrt_index;\n";
+  out "static long ezrt_cycle_base;\n";
+  out "static int ezrt_running;\n";
+  (match layout with
+  | Compact_table -> out "static long ezrt_offset;\n"
+  | Struct_table -> ());
+  if target.Target.hosted then out "static long ezrt_next_tick;\n";
+  out "\nstatic void ezrt_timer_init(void)\n{\n";
+  outl (List.map (fun l -> "    " ^ l) target.Target.timer_setup);
+  out "}\n\n";
+  out "static void ezrt_timer_program(long next)\n{\n";
+  out "    (void)next;\n";
+  outl (List.map (fun l -> "    " ^ l) target.Target.timer_program);
+  out "}\n\n";
+  out "/* The dispatcher: restore a preempted instance or start a new\n";
+  out "   one, then arm the timer for the next schedule row. */\n";
+  (match layout with
+  | Struct_table ->
+    out "static void ezrt_dispatch(void)\n{\n";
+    out "    const struct ScheduleItem *item = &scheduleTable[ezrt_index];\n";
+    out "    ezrt_now = ezrt_cycle_base + item->start_time;\n";
+    out "    if (item->flag) {\n";
+    out "#ifdef EZRT_TRACE\n";
+    out "        printf(\"t=%%ld resume %%s\\n\", ezrt_now,\n";
+    out "               ezrt_task_name[item->task_id - 1]);\n";
+    out "#endif\n";
+    out "        EZRT_RESTORE_CONTEXT(item->task_id);\n";
+    out "    } else {\n";
+    out "        item->task();\n";
+    out "    }\n";
+    out "    ezrt_running = item->task_id;\n";
+    out "    ezrt_index += 1;\n";
+    out "    if (ezrt_index == EZRT_SCHEDULE_SIZE) {\n";
+    out "        ezrt_index = 0;\n";
+    out "        ezrt_cycle_base += EZRT_HYPER_PERIOD;\n";
+    out "    }\n";
+    out "    ezrt_timer_program(ezrt_cycle_base\n";
+    out "                       + scheduleTable[ezrt_index].start_time);\n";
+    out "}\n\n"
+  | Compact_table ->
+    out "static void ezrt_dispatch(void)\n{\n";
+    out "    unsigned char tf = ezrt_tf[ezrt_index];\n";
+    out "    int task_id = tf & 0x7f;\n";
+    out "    ezrt_now = ezrt_cycle_base + ezrt_offset;\n";
+    out "    if (tf & 0x80) {\n";
+    out "#ifdef EZRT_TRACE\n";
+    out "        printf(\"t=%%ld resume %%s\\n\", ezrt_now,\n";
+    out "               ezrt_task_name[task_id - 1]);\n";
+    out "#endif\n";
+    out "        EZRT_RESTORE_CONTEXT(task_id);\n";
+    out "    } else {\n";
+    out "        ezrt_task_fn[task_id - 1]();\n";
+    out "    }\n";
+    out "    ezrt_running = task_id;\n";
+    out "    ezrt_index += 1;\n";
+    out "    if (ezrt_index == EZRT_SCHEDULE_SIZE) {\n";
+    out "        ezrt_index = 0;\n";
+    out "        ezrt_cycle_base += EZRT_HYPER_PERIOD;\n";
+    out "        ezrt_offset = ezrt_delta[0];\n";
+    out "    } else {\n";
+    out "        ezrt_offset += ezrt_delta[ezrt_index];\n";
+    out "    }\n";
+    out "    ezrt_timer_program(ezrt_cycle_base + ezrt_offset);\n";
+    out "}\n\n");
+  out "%s\n{\n" (isr_signature target);
+  outl (List.map (fun l -> "    " ^ l) target.Target.timer_ack);
+  out "    EZRT_SAVE_CONTEXT(ezrt_running);\n";
+  out "    ezrt_dispatch();\n";
+  out "}\n\n";
+  if target.Target.hosted then begin
+    out "int main(void)\n{\n";
+    out "    long rows = (long)EZRT_SCHEDULE_SIZE * EZRT_HOSTED_CYCLES;\n";
+    out "    long i;\n";
+    out "    ezrt_timer_init();\n";
+    (match layout with
+    | Struct_table -> out "    ezrt_timer_program(scheduleTable[0].start_time);\n"
+    | Compact_table ->
+      out "    ezrt_offset = ezrt_delta[0];\n";
+      out "    ezrt_timer_program(ezrt_offset);\n");
+    out "    for (i = 0; i < rows; i++)\n";
+    out "        ezrt_timer_isr();\n";
+    out "    printf(\"ezrt: completed %%d hyper-period(s), final time %%ld\\n\",\n";
+    out "           EZRT_HOSTED_CYCLES, ezrt_now);\n";
+    out "    return 0;\n";
+    out "}\n"
+  end
+  else begin
+    out "int main(void)\n{\n";
+    out "    ezrt_timer_init();\n";
+    (match layout with
+    | Struct_table -> out "    ezrt_timer_program(scheduleTable[0].start_time);\n"
+    | Compact_table ->
+      out "    ezrt_offset = ezrt_delta[0];\n";
+      out "    ezrt_timer_program(ezrt_offset);\n");
+    out "    for (;;) {\n";
+    out "        %s\n" target.Target.idle;
+    out "    }\n";
+    out "}\n"
+  end;
+  Buffer.contents buf

@@ -1,0 +1,66 @@
+(** Scheduled C code generation (paper §4.4.2 and Fig 8).
+
+    The generated program contains, exactly as the paper describes:
+    the tasks' code, a schedule table ([struct ScheduleItem] with start
+    time, preemption flag, task id and a function pointer), a small
+    dispatcher that walks the table, and a timer interrupt handler that
+    reprograms the timer to the next row's start time.
+
+    Task bodies compile in two modes: with [EZRT_TRACE] (default on the
+    hosted target) each activation prints a trace line, and with
+    [EZRT_USER_CODE] the behavioural sources from the specification are
+    compiled in.  Context save/restore are platform hooks
+    ([EZRT_SAVE_CONTEXT] / [EZRT_RESTORE_CONTEXT]) that default to
+    no-ops, as the mechanism is register-file specific. *)
+
+val c_identifier : string -> string
+(** Mangle a task name into a C identifier. *)
+
+val schedule_table :
+  Ezrt_blocks.Translate.t -> Ezrt_sched.Table.item list -> string
+(** Just the [struct ScheduleItem scheduleTable[...]] initializer with
+    Fig 8-style row comments. *)
+
+type layout =
+  | Struct_table
+      (** the paper's Fig 8 representation: an array of
+          [struct ScheduleItem] with a function pointer per row *)
+  | Compact_table
+      (** parallel [const] arrays — 16-bit start-time deltas and a
+          packed flag/task byte — plus one small function table; 3
+          bytes per row instead of 8-24, for flash-constrained parts
+          (the paper's "optimize the generated code to specific
+          platforms" future work).  Requires task ids below 128 and
+          hyper-periods below 65536. *)
+
+val program :
+  ?target:Target.t ->
+  ?layout:layout ->
+  Ezrt_blocks.Translate.t ->
+  Ezrt_sched.Table.item list ->
+  string
+(** The complete C translation unit ([target] defaults to
+    {!Target.hosted}, [layout] to [Struct_table]).  Raises
+    [Invalid_argument] when [Compact_table] limits are exceeded. *)
+
+type footprint = {
+  rows : int;
+  row_bytes : int;  (** sizeof(struct ScheduleItem) under natural alignment *)
+  table_bytes : int;
+  fits_flash : bool option;
+      (** table vs the target's typical code-memory budget; [None] when
+          the profile declares no budget *)
+}
+
+val table_footprint :
+  ?layout:layout -> Target.t -> Ezrt_sched.Table.item list -> footprint
+(** ROM cost of the schedule table — the dominant memory artifact of
+    pre-runtime scheduling on small parts (the paper's 8051 has a few
+    KiB of flash, while a hyper-period like the mine pump's needs one
+    row per execution part). *)
+
+val trace_line_of_item :
+  Ezrt_blocks.Translate.t -> base:int -> Ezrt_sched.Table.item -> string
+(** The line the hosted program prints for one table row — used by
+    tests to predict the output of the compiled program.  [base] is the
+    hyper-period offset (0 for the first cycle). *)

@@ -1,0 +1,175 @@
+type t = {
+  name : string;
+  description : string;
+  includes : string list;
+  isr_qualifier : string;
+  timer_setup : string list;
+  timer_program : string list;
+  timer_ack : string list;
+  idle : string;
+  glue : string list;
+  int_bytes : int;
+  pointer_bytes : int;
+  flash_bytes : int option;
+  hosted : bool;
+}
+
+let hosted =
+  {
+    name = "hosted";
+    description = "host-compilable simulation harness (logical clock)";
+    includes = [ "<stdio.h>"; "<stdbool.h>" ];
+    isr_qualifier = "";
+    timer_setup = [ "/* hosted: the harness advances the logical clock */" ];
+    timer_program = [ "ezrt_next_tick = next;" ];
+    timer_ack = [];
+    idle = "/* hosted: the harness drives the ISR directly */";
+    glue =
+      [
+        "#define EZRT_TRACE 1";
+        "#ifndef EZRT_HOSTED_CYCLES";
+        "#define EZRT_HOSTED_CYCLES 1   /* hyper-periods to simulate */";
+        "#endif";
+      ];
+    int_bytes = 4;
+    pointer_bytes = 8;
+    flash_bytes = None;
+    hosted = true;
+  }
+
+let x86 =
+  {
+    name = "x86";
+    description = "bare-metal x86, legacy PIT channel 0";
+    includes = [ "<stdbool.h>"; "<stdint.h>" ];
+    isr_qualifier = "__attribute__((interrupt))";
+    timer_setup =
+      [
+        "outb(0x43, 0x34);               /* PIT channel 0, rate generator */";
+        "outb(0x40, EZRT_PIT_DIVISOR & 0xff);";
+        "outb(0x40, EZRT_PIT_DIVISOR >> 8);";
+      ];
+    timer_program =
+      [
+        "uint16_t ticks = (uint16_t)(next - ezrt_now);";
+        "outb(0x40, ticks & 0xff);";
+        "outb(0x40, ticks >> 8);";
+      ];
+    timer_ack = [ "outb(0x20, 0x20);               /* EOI to the PIC */" ];
+    idle = "__asm__ volatile (\"hlt\");";
+    glue =
+      [
+        "#define EZRT_PIT_DIVISOR 1193  /* ~1 kHz tick from 1.193 MHz */";
+        "static inline void outb(uint16_t port, uint8_t value)";
+        "{";
+        "    __asm__ volatile (\"outb %0, %1\" :: \"a\"(value), \"Nd\"(port));";
+        "}";
+      ];
+    int_bytes = 4;
+    pointer_bytes = 4;
+    flash_bytes = Some 262144;   (* 256 KiB option ROM class *)
+    hosted = false;
+  }
+
+let arm9 =
+  {
+    name = "arm9";
+    description = "ARM9, memory-mapped periodic timer";
+    includes = [ "<stdbool.h>"; "<stdint.h>" ];
+    isr_qualifier = "__attribute__((interrupt(\"IRQ\")))";
+    timer_setup =
+      [
+        "EZRT_TIMER->control = 0;        /* stop */";
+        "EZRT_TIMER->load = EZRT_TICK_CYCLES;";
+        "EZRT_TIMER->control = TIMER_ENABLE | TIMER_IRQ;";
+      ];
+    timer_program = [ "EZRT_TIMER->compare = next * EZRT_TICK_CYCLES;" ];
+    timer_ack = [ "EZRT_TIMER->clear = 1;          /* clear the IRQ line */" ];
+    idle = "__asm__ volatile (\"mcr p15, 0, %0, c7, c0, 4\" :: \"r\"(0)); /* wait for interrupt */";
+    glue =
+      [
+        "#define EZRT_TICK_CYCLES 1000u /* timer cycles per time unit */";
+        "#define TIMER_ENABLE (1u << 7)";
+        "#define TIMER_IRQ    (1u << 5)";
+        "struct ezrt_timer_regs {";
+        "    volatile uint32_t load, compare, control, clear;";
+        "};";
+        "#define EZRT_TIMER ((struct ezrt_timer_regs *)0x101e2000)";
+      ];
+    int_bytes = 4;
+    pointer_bytes = 4;
+    flash_bytes = Some 524288;   (* 512 KiB on-chip flash class *)
+    hosted = false;
+  }
+
+let i8051 =
+  {
+    name = "8051";
+    description = "Intel 8051, timer 0 mode 1 (SDCC dialect)";
+    includes = [ "<8051.h>" ];
+    isr_qualifier = "__interrupt(1)";
+    timer_setup =
+      [
+        "TMOD = (TMOD & 0xf0) | 0x01;    /* timer 0, 16-bit mode */";
+        "ET0 = 1;                        /* enable timer 0 interrupt */";
+        "EA = 1;                         /* global interrupt enable */";
+        "TR0 = 1;                        /* run */";
+      ];
+    timer_program =
+      [
+        "unsigned int ticks = (unsigned int)(next - ezrt_now) * EZRT_CYCLES_PER_TICK;";
+        "TH0 = (unsigned char)((0x10000u - ticks) >> 8);";
+        "TL0 = (unsigned char)(0x10000u - ticks);";
+      ];
+    timer_ack = [ "TF0 = 0;                        /* clear overflow flag */" ];
+    idle = "PCON |= 0x01;                   /* idle mode until interrupt */";
+    glue =
+      [ "#define EZRT_CYCLES_PER_TICK 922u /* 12 MHz / 12 / 1 kHz */" ];
+    int_bytes = 2;
+    pointer_bytes = 2;  (* small memory model *)
+    flash_bytes = Some 4096;     (* classic AT89C51 *)
+    hosted = false;
+  }
+
+let m68k =
+  {
+    name = "m68k";
+    description = "Motorola 68000, periodic timer on a user vector";
+    includes = [ "<stdbool.h>"; "<stdint.h>" ];
+    isr_qualifier = "__attribute__((interrupt_handler))";
+    timer_setup =
+      [
+        "*EZRT_TIMER_CTRL = 0;           /* stop */";
+        "*EZRT_TIMER_VECTOR = EZRT_TIMER_VEC;";
+        "*EZRT_TIMER_CTRL = TIMER_GO | TIMER_IRQ_EN;";
+      ];
+    timer_program = [ "*EZRT_TIMER_CMP = next * EZRT_TICK_CYCLES;" ];
+    timer_ack = [ "*EZRT_TIMER_STAT = 1;           /* acknowledge */" ];
+    idle = "__asm__ volatile (\"stop #0x2000\");";
+    glue =
+      [
+        "#define EZRT_TICK_CYCLES 1000u";
+        "#define EZRT_TIMER_VEC 64";
+        "#define TIMER_GO     (1u << 0)";
+        "#define TIMER_IRQ_EN (1u << 1)";
+        "#define EZRT_TIMER_CTRL   ((volatile uint16_t *)0xfff000)";
+        "#define EZRT_TIMER_CMP    ((volatile uint32_t *)0xfff004)";
+        "#define EZRT_TIMER_STAT   ((volatile uint16_t *)0xfff008)";
+        "#define EZRT_TIMER_VECTOR ((volatile uint16_t *)0xfff00a)";
+      ];
+    int_bytes = 4;
+    pointer_bytes = 4;
+    flash_bytes = Some 131072;   (* 128 KiB ROM class *)
+    hosted = false;
+  }
+
+let all =
+  [
+    ("hosted", hosted);
+    ("x86", x86);
+    ("arm9", arm9);
+    ("8051", i8051);
+    ("m68k", m68k);
+  ]
+
+let find name = List.assoc_opt name all

@@ -1,0 +1,113 @@
+module Xml = Ezrt_xml.Doc
+module Xml_parser = Ezrt_xml.Parser
+module Interval = Ezrt_tpn.Time_interval
+module Pnet = Ezrt_tpn.Pnet
+module State = Ezrt_tpn.State
+module Tlts = Ezrt_tpn.Tlts
+module Analysis = Ezrt_tpn.Analysis
+module Invariants = Ezrt_tpn.Invariants
+module Dbm = Ezrt_tpn.Dbm
+module State_class = Ezrt_tpn.State_class
+module Reduce = Ezrt_tpn.Reduce
+module Dot = Ezrt_tpn.Dot
+module Tina = Ezrt_tpn.Tina
+module Query = Ezrt_tpn.Query
+module Task = Ezrt_spec.Task
+module Processor = Ezrt_spec.Processor
+module Message = Ezrt_spec.Message
+module Spec = Ezrt_spec.Spec
+module Validate = Ezrt_spec.Validate
+module Dsl = Ezrt_spec.Dsl
+module Stats = Ezrt_spec.Stats
+module Case_studies = Ezrt_spec.Case_studies
+module Pnml = Ezrt_pnml.Pnml
+module Blocks = Ezrt_blocks.Blocks
+module Relations = Ezrt_blocks.Relations
+module Compose = Ezrt_blocks.Compose
+module Meaning = Ezrt_blocks.Meaning
+module Translate = Ezrt_blocks.Translate
+module Priority = Ezrt_sched.Priority
+module Search = Ezrt_sched.Search
+module Schedule = Ezrt_sched.Schedule
+module Timeline = Ezrt_sched.Timeline
+module Table = Ezrt_sched.Table
+module Validator = Ezrt_sched.Validator
+module Chart = Ezrt_sched.Chart
+module Quality = Ezrt_sched.Quality
+module Sensitivity = Ezrt_sched.Sensitivity
+module Vcd = Ezrt_sched.Vcd
+module Class_search = Ezrt_sched.Class_search
+module Optimize = Ezrt_sched.Optimize
+module Target = Ezrt_codegen.Target
+module Emit = Ezrt_codegen.Emit
+module Vm = Ezrt_runtime.Vm
+module Baseline_sim = Ezrt_baseline.Sim
+module Baseline_compare = Ezrt_baseline.Compare
+module Rta = Ezrt_baseline.Rta
+
+type artifact = {
+  spec : Spec.t;
+  model : Translate.t;
+  schedule : Schedule.t;
+  segments : Timeline.segment list;
+  table : Table.item list;
+  c_program : string;
+  metrics : Search.metrics;
+}
+
+type error =
+  | Invalid_spec of Validate.error list
+  | No_schedule of Search.failure * Search.metrics
+  | Not_certified of Validator.violation list
+
+let error_to_string = function
+  | Invalid_spec errors ->
+    Printf.sprintf "invalid specification: %s"
+      (String.concat "; " (List.map Validate.error_to_string errors))
+  | No_schedule (f, m) ->
+    Printf.sprintf "no schedule: %s (after %d states, %.1f ms)"
+      (Search.failure_to_string f) m.Search.stored
+      (m.Search.elapsed_s *. 1000.)
+  | Not_certified violations ->
+    Printf.sprintf "schedule failed certification: %s"
+      (String.concat "; " (List.map Validator.violation_to_string violations))
+
+let version = "1.0.0"
+
+let synthesize ?search ?(target = Target.hosted) spec =
+  match (Validate.check spec).Validate.errors with
+  | _ :: _ as errors -> Error (Invalid_spec errors)
+  | [] -> (
+    let model = Translate.translate spec in
+    let outcome, metrics = Search.find_schedule ?options:search model in
+    match outcome with
+    | Error f -> Error (No_schedule (f, metrics))
+    | Ok schedule -> (
+      let segments = Timeline.of_schedule model schedule in
+      match Validator.check model segments with
+      | Error violations -> Error (Not_certified violations)
+      | Ok () ->
+        let table = Table.of_segments segments in
+        let c_program = Emit.program ~target model table in
+        Ok { spec; model; schedule; segments; table; c_program; metrics }))
+
+let synthesize_exn ?search ?target spec =
+  match synthesize ?search ?target spec with
+  | Ok artifact -> artifact
+  | Error e -> failwith (error_to_string e)
+
+let report fmt artifact =
+  let model = artifact.model in
+  Format.fprintf fmt "specification : %a@." Spec.pp artifact.spec;
+  Format.fprintf fmt "net           : %a@." Pnet.pp_summary model.Translate.net;
+  Format.fprintf fmt
+    "search        : %d states stored (%d visited, %d pruned eagerly), %d \
+     backtracks, %.1f ms@."
+    artifact.metrics.Search.stored artifact.metrics.Search.visited
+    artifact.metrics.Search.eager artifact.metrics.Search.backtracks
+    (artifact.metrics.Search.elapsed_s *. 1000.);
+  Format.fprintf fmt "schedule      : %d firings, makespan %d, %d table rows@."
+    (Schedule.length artifact.schedule)
+    (Schedule.makespan artifact.schedule)
+    (List.length artifact.table);
+  Format.fprintf fmt "schedule table:@.%a" (Table.pp model) artifact.table

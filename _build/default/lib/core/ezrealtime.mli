@@ -1,0 +1,100 @@
+(** ezRealtime: embedded hard real-time software synthesis.
+
+    One-call pipeline over the underlying libraries (all re-exported
+    below): a specification is validated, translated to a time Petri
+    net by building-block composition, a feasible pre-runtime schedule
+    is found by depth-first search over the net's timed transition
+    system, certified by an independent validator, and turned into a
+    schedule table plus scheduled C code.
+
+    {[
+      let artifact =
+        Ezrealtime.synthesize_exn Ezrt_spec.Case_studies.quickstart in
+      print_string artifact.Ezrealtime.c_program
+    ]} *)
+
+(** {1 Re-exported subsystems} *)
+
+module Xml = Ezrt_xml.Doc
+module Xml_parser = Ezrt_xml.Parser
+module Interval = Ezrt_tpn.Time_interval
+module Pnet = Ezrt_tpn.Pnet
+module State = Ezrt_tpn.State
+module Tlts = Ezrt_tpn.Tlts
+module Analysis = Ezrt_tpn.Analysis
+module Invariants = Ezrt_tpn.Invariants
+module Dbm = Ezrt_tpn.Dbm
+module State_class = Ezrt_tpn.State_class
+module Reduce = Ezrt_tpn.Reduce
+module Dot = Ezrt_tpn.Dot
+module Tina = Ezrt_tpn.Tina
+module Query = Ezrt_tpn.Query
+module Task = Ezrt_spec.Task
+module Processor = Ezrt_spec.Processor
+module Message = Ezrt_spec.Message
+module Spec = Ezrt_spec.Spec
+module Validate = Ezrt_spec.Validate
+module Dsl = Ezrt_spec.Dsl
+module Stats = Ezrt_spec.Stats
+module Case_studies = Ezrt_spec.Case_studies
+module Pnml = Ezrt_pnml.Pnml
+module Blocks = Ezrt_blocks.Blocks
+module Relations = Ezrt_blocks.Relations
+module Compose = Ezrt_blocks.Compose
+module Meaning = Ezrt_blocks.Meaning
+module Translate = Ezrt_blocks.Translate
+module Priority = Ezrt_sched.Priority
+module Search = Ezrt_sched.Search
+module Schedule = Ezrt_sched.Schedule
+module Timeline = Ezrt_sched.Timeline
+module Table = Ezrt_sched.Table
+module Validator = Ezrt_sched.Validator
+module Chart = Ezrt_sched.Chart
+module Quality = Ezrt_sched.Quality
+module Sensitivity = Ezrt_sched.Sensitivity
+module Vcd = Ezrt_sched.Vcd
+module Class_search = Ezrt_sched.Class_search
+module Optimize = Ezrt_sched.Optimize
+module Target = Ezrt_codegen.Target
+module Emit = Ezrt_codegen.Emit
+module Vm = Ezrt_runtime.Vm
+module Baseline_sim = Ezrt_baseline.Sim
+module Baseline_compare = Ezrt_baseline.Compare
+module Rta = Ezrt_baseline.Rta
+
+(** {1 The synthesis pipeline} *)
+
+type artifact = {
+  spec : Spec.t;
+  model : Translate.t;  (** the composed time Petri net *)
+  schedule : Schedule.t;  (** the feasible firing schedule *)
+  segments : Timeline.segment list;
+  table : Table.item list;  (** the Fig 8 schedule table *)
+  c_program : string;  (** scheduled C for the requested target *)
+  metrics : Search.metrics;
+}
+
+type error =
+  | Invalid_spec of Validate.error list
+  | No_schedule of Search.failure * Search.metrics
+  | Not_certified of Validator.violation list
+      (** the search returned a schedule the independent validator
+          rejects — a library bug, surfaced rather than swallowed *)
+
+val error_to_string : error -> string
+
+val synthesize :
+  ?search:Search.options ->
+  ?target:Target.t ->
+  Spec.t ->
+  (artifact, error) result
+(** [target] defaults to {!Target.hosted}. *)
+
+val synthesize_exn :
+  ?search:Search.options -> ?target:Target.t -> Spec.t -> artifact
+
+val report : Format.formatter -> artifact -> unit
+(** Human-readable synthesis summary: net size, search statistics,
+    schedule table. *)
+
+val version : string

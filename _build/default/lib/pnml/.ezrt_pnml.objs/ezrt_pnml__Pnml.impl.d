@@ -1,0 +1,1 @@
+lib/pnml/pnml.ml: Array Ezrt_tpn Ezrt_xml Hashtbl In_channel List Option Out_channel Pnet Printf String Time_interval

@@ -1,0 +1,1 @@
+lib/pnml/pnml.mli: Ezrt_tpn Ezrt_xml

@@ -1,0 +1,1 @@
+lib/runtime/vm.ml: Array Ezrt_blocks Ezrt_sched Ezrt_spec Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/runtime/vm.mli: Ezrt_blocks Ezrt_sched

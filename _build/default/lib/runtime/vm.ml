@@ -1,0 +1,207 @@
+module Translate = Ezrt_blocks.Translate
+module Table = Ezrt_sched.Table
+module Timeline = Ezrt_sched.Timeline
+module Validator = Ezrt_sched.Validator
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+
+type event =
+  | Timer_interrupt of int
+  | Dispatch of { time : int; task : int; instance : int; resumed : bool }
+  | Preempted of { time : int; task : int; instance : int }
+  | Completed of { time : int; task : int; instance : int }
+  | Overrun of { time : int; task : int; instance : int }
+
+let event_to_string model event =
+  let name i = model.Translate.tasks.(i).Task.name in
+  match event with
+  | Timer_interrupt t -> Printf.sprintf "%6d interrupt" t
+  | Dispatch { time; task; instance; resumed } ->
+    Printf.sprintf "%6d dispatch %s#%d%s" time (name task) instance
+      (if resumed then " (resume)" else "")
+  | Preempted { time; task; instance } ->
+    Printf.sprintf "%6d preempt  %s#%d" time (name task) instance
+  | Completed { time; task; instance } ->
+    Printf.sprintf "%6d complete %s#%d" time (name task) instance
+  | Overrun { time; task; instance } ->
+    Printf.sprintf "%6d OVERRUN  %s#%d" time (name task) instance
+
+type outcome = {
+  trace : event list;
+  segments : Timeline.segment list;
+  overruns : int;
+  completed : int;
+}
+
+type fault = {
+  f_task : int;
+  f_instance : int;
+  f_extra : int;
+}
+
+let execute ?overhead ?(cycles = 1) ?(faults = []) model items =
+  if cycles < 1 then invalid_arg "Vm.execute: cycles < 1";
+  List.iter
+    (fun f -> if f.f_extra < 0 then invalid_arg "Vm.execute: negative fault")
+    faults;
+  let overhead =
+    Option.value overhead ~default:model.Translate.spec.Spec.disp_overhead
+  in
+  if overhead < 0 then invalid_arg "Vm.execute: negative overhead";
+  let rows = Array.of_list items in
+  let n_rows = Array.length rows in
+  let horizon = model.Translate.horizon in
+  let trace = ref [] in
+  let segments = ref [] in
+  let overruns = ref 0 in
+  let completed = ref 0 in
+  let emit e = trace := e :: !trace in
+  (* Remaining work per (task, cycle-local instance) of the current
+     cycle; refilled at each cycle boundary. *)
+  let remaining = Hashtbl.create 64 in
+  let emitted_parts = Hashtbl.create 64 in
+  let refill () =
+    Hashtbl.reset remaining;
+    Hashtbl.reset emitted_parts;
+    Array.iteri
+      (fun i task ->
+        for k = 0 to model.Translate.instance_counts.(i) - 1 do
+          let extra =
+            List.fold_left
+              (fun acc f ->
+                if f.f_task = i && f.f_instance = k then acc + f.f_extra
+                else acc)
+              0 faults
+          in
+          Hashtbl.replace remaining (i, k) (task.Task.wcet + extra)
+        done)
+      model.Translate.tasks
+  in
+  let record_segment cycle task instance start finish =
+    if cycle = 0 && finish > start then begin
+      let parts =
+        Option.value (Hashtbl.find_opt emitted_parts (task, instance)) ~default:0
+      in
+      Hashtbl.replace emitted_parts (task, instance) (parts + 1);
+      segments :=
+        { Timeline.task; instance; start; finish; resumed = parts > 0 }
+        :: !segments
+    end
+  in
+  for cycle = 0 to cycles - 1 do
+    refill ();
+    let base = cycle * horizon in
+    for k = 0 to n_rows - 1 do
+      let row = rows.(k) in
+      let t = base + row.Table.start in
+      let next_start =
+        if k + 1 < n_rows then base + rows.(k + 1).Table.start
+        else base + horizon
+        (* the last row may run to the end of the hyper-period *)
+      in
+      emit (Timer_interrupt t);
+      let task = row.Table.task and instance = row.Table.instance in
+      emit (Dispatch { time = t; task; instance; resumed = row.Table.resumed });
+      let rem =
+        Option.value (Hashtbl.find_opt remaining (task, instance)) ~default:0
+      in
+      let effective = t + overhead in
+      let available = next_start - effective in
+      if available <= 0 || rem = 0 then begin
+        if rem > 0 then begin
+          incr overruns;
+          emit (Overrun { time = t; task; instance })
+        end
+      end
+      else begin
+        let run = min rem available in
+        let finish = effective + run in
+        record_segment cycle task instance effective finish;
+        let rem' = rem - run in
+        Hashtbl.replace remaining (task, instance) rem';
+        if rem' = 0 then begin
+          incr completed;
+          emit (Completed { time = finish; task; instance })
+        end
+        else if k + 1 < n_rows then
+          emit (Preempted { time = finish; task; instance })
+        else begin
+          incr overruns;
+          emit (Overrun { time = finish; task; instance })
+        end
+      end
+    done;
+    (* Any instance with leftover work at the end of the cycle never
+       completed: count it. *)
+    Hashtbl.iter
+      (fun (task, instance) rem ->
+        if rem > 0 then begin
+          incr overruns;
+          emit (Overrun { time = base + horizon; task; instance })
+        end)
+      remaining
+  done;
+  {
+    trace = List.rev !trace;
+    segments =
+      List.sort
+        (fun (a : Timeline.segment) b -> compare a.Timeline.start b.Timeline.start)
+        !segments;
+    overruns = !overruns;
+    completed = !completed;
+  }
+
+(* Healthy instances must execute exactly their planned segments even
+   while the faulty ones overrun. *)
+let isolation_check ?overhead ~faults model items =
+  let outcome = execute ?overhead ~cycles:1 ~faults model items in
+  (* check the whole trace against the specification, then discard the
+     violations that concern the faulty instances themselves: whatever
+     remains leaked onto healthy work *)
+  let violations =
+    match Validator.check model outcome.segments with
+    | Ok () -> []
+    | Error vs ->
+      let concerns_faulty v =
+        let name i = model.Translate.tasks.(i).Task.name in
+        let is_faulty_name n k =
+          List.exists
+            (fun f -> name f.f_task = n && f.f_instance = k)
+            faults
+        in
+        match v with
+        | Validator.Wrong_amount (n, k, _, _)
+        | Validator.Started_before_release (n, k, _, _)
+        | Validator.Missed_deadline (n, k, _, _)
+        | Validator.Fragmented_non_preemptive (n, k) -> is_faulty_name n k
+        | Validator.Wrong_instance_count (n, _, _) ->
+          List.exists (fun f -> name f.f_task = n) faults
+        | Validator.Processor_overlap _ | Validator.Precedence_violated _
+        | Validator.Exclusion_interleaved _ | Validator.Message_too_early _ ->
+          false
+      in
+      List.filter (fun v -> not (concerns_faulty v)) vs
+  in
+  match violations with
+  | [] -> Ok outcome.overruns
+  | vs -> Error vs
+
+let verify ?overhead model items =
+  let outcome = execute ?overhead ~cycles:1 model items in
+  Validator.check model outcome.segments
+
+let max_tolerable_overhead ?(limit = 1000) model items =
+  let ok overhead =
+    match verify ~overhead model items with Ok () -> true | Error _ -> false
+  in
+  (* The feasible overheads form a prefix: binary search its end. *)
+  if not (ok 0) then -1
+  else begin
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi + 1) / 2 in
+        if ok mid then search mid hi else search lo (mid - 1)
+    in
+    search 0 limit
+  end

@@ -1,0 +1,81 @@
+(** Virtual target machine.
+
+    Executes a synthesized schedule table the way the generated
+    dispatcher does on a microcontroller: a timer interrupt fires at
+    each row's start time, the dispatcher (optionally costing
+    [overhead] time units — the metamodel's [dispOveh]) starts or
+    resumes the row's task instance, and the instance runs until it
+    completes or the next interrupt preempts it.
+
+    This is the container substitute for running the generated C on
+    real hardware (DESIGN.md): it exercises the same table-walking
+    logic and yields a trace whose derived segments are checked against
+    the full specification by {!Ezrt_sched.Validator}. *)
+
+type event =
+  | Timer_interrupt of int
+  | Dispatch of { time : int; task : int; instance : int; resumed : bool }
+  | Preempted of { time : int; task : int; instance : int }
+  | Completed of { time : int; task : int; instance : int }
+  | Overrun of { time : int; task : int; instance : int }
+      (** the dispatch overhead consumed the whole slot, or the
+          instance still had work after its last table row *)
+
+val event_to_string : Ezrt_blocks.Translate.t -> event -> string
+
+type outcome = {
+  trace : event list;
+  segments : Ezrt_sched.Timeline.segment list;
+      (** first-hyper-period execution segments, including the
+          overhead-induced shifts *)
+  overruns : int;
+  completed : int;  (** instances completed over all simulated cycles *)
+}
+
+type fault = {
+  f_task : int;  (** task index *)
+  f_instance : int;  (** cycle-local instance *)
+  f_extra : int;  (** execution-time overrun beyond the WCET *)
+}
+
+val execute :
+  ?overhead:int ->
+  ?cycles:int ->
+  ?faults:fault list ->
+  Ezrt_blocks.Translate.t ->
+  Ezrt_sched.Table.item list ->
+  outcome
+(** [overhead] defaults to the specification's [disp_overhead];
+    [cycles] (hyper-periods simulated) defaults to 1.
+
+    [faults] inject execution-time overruns: the instance needs
+    [wcet + extra] units.  Because dispatching is purely time-driven,
+    an overrunning instance is cut at the next timer interrupt (an
+    {!Overrun} event) and every other instance still runs in its own
+    slots — the temporal-isolation property of table-driven
+    execution. *)
+
+val isolation_check :
+  ?overhead:int ->
+  faults:fault list ->
+  Ezrt_blocks.Translate.t ->
+  Ezrt_sched.Table.item list ->
+  (int, Ezrt_sched.Validator.violation list) result
+(** Execute one hyper-period with the faults injected and check that
+    every segment of the NON-faulty instances is exactly as planned;
+    returns the number of overruns confined to the faulty instances, or
+    the constraint violations that leaked onto healthy ones. *)
+
+val verify :
+  ?overhead:int ->
+  Ezrt_blocks.Translate.t ->
+  Ezrt_sched.Table.item list ->
+  (unit, Ezrt_sched.Validator.violation list) result
+(** Execute one hyper-period and check the resulting segments against
+    the specification. *)
+
+val max_tolerable_overhead :
+  ?limit:int -> Ezrt_blocks.Translate.t -> Ezrt_sched.Table.item list -> int
+(** Largest per-dispatch overhead (up to [limit], default 1000) for
+    which {!verify} still succeeds — how much dispatcher cost the
+    synthesized table absorbs before a constraint breaks. *)

@@ -1,0 +1,1 @@
+lib/sched/chart.ml: Array Buffer Ezrt_blocks Ezrt_spec Hashtbl List Printf String Timeline

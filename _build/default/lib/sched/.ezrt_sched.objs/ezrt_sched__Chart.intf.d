@@ -1,0 +1,1 @@
+lib/sched/chart.mli: Ezrt_blocks Timeline

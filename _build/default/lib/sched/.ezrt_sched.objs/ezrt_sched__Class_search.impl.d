@@ -1,0 +1,1 @@
+lib/sched/class_search.ml: Array Dbm Ezrt_blocks Ezrt_tpn List Pnet Schedule State State_class Time_interval Unix

@@ -1,0 +1,1 @@
+lib/sched/class_search.mli: Ezrt_blocks Schedule

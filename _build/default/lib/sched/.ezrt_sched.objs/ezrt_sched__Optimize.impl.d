@@ -1,0 +1,1 @@
+lib/sched/optimize.ml: Array Ezrt_blocks Ezrt_tpn List Option Priority Schedule Search State

@@ -1,0 +1,1 @@
+lib/sched/optimize.mli: Ezrt_blocks Schedule Search

@@ -1,0 +1,1 @@
+lib/sched/priority.ml: Array Ezrt_blocks Ezrt_spec Ezrt_tpn List State Time_interval

@@ -1,0 +1,1 @@
+lib/sched/priority.mli: Ezrt_blocks Ezrt_tpn Pnet State

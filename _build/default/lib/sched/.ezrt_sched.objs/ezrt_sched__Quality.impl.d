@@ -1,0 +1,1 @@
+lib/sched/quality.ml: Array Ezrt_blocks Ezrt_spec Format Hashtbl List Printf Timeline

@@ -1,0 +1,1 @@
+lib/sched/quality.mli: Ezrt_blocks Format Timeline

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Ezrt_blocks Ezrt_tpn Format List Pnet State

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Ezrt_blocks Ezrt_tpn Format Pnet State

@@ -1,0 +1,1 @@
+lib/sched/search.ml: Array Ezrt_blocks Ezrt_tpn List Pnet Priority Schedule State Time_interval Unix

@@ -1,0 +1,1 @@
+lib/sched/search.mli: Ezrt_blocks Priority Schedule

@@ -1,0 +1,1 @@
+lib/sched/sensitivity.ml: Ezrt_blocks Ezrt_spec Format List Search String

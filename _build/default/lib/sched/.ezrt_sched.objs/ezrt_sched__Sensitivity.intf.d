@@ -1,0 +1,1 @@
+lib/sched/sensitivity.mli: Ezrt_spec Format Search

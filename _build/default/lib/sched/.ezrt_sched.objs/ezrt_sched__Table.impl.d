@@ -1,0 +1,1 @@
+lib/sched/table.ml: Array Ezrt_blocks Ezrt_spec Format List Printf String Timeline

@@ -1,0 +1,1 @@
+lib/sched/table.mli: Ezrt_blocks Format Schedule Timeline

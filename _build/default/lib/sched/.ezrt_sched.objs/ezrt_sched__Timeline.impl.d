@@ -1,0 +1,1 @@
+lib/sched/timeline.ml: Array Ezrt_blocks Ezrt_spec Format List Schedule

@@ -1,0 +1,1 @@
+lib/sched/validator.ml: Array Ezrt_blocks Ezrt_spec Hashtbl List Option Printf String Timeline

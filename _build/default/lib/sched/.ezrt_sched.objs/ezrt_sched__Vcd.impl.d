@@ -1,0 +1,1 @@
+lib/sched/vcd.ml: Array Buffer Char Ezrt_blocks Ezrt_spec List Out_channel Printf String Timeline

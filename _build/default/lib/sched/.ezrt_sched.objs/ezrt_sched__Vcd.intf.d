@@ -1,0 +1,1 @@
+lib/sched/vcd.mli: Ezrt_blocks Timeline

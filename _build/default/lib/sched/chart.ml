@@ -1,0 +1,74 @@
+module Translate = Ezrt_blocks.Translate
+module Task = Ezrt_spec.Task
+
+(* Map a time instant to a chart column under scaling. *)
+let column ~scale t = int_of_float (float_of_int t /. scale)
+
+let fill_cells cells ~scale ~upto segments keep mark =
+  List.iter
+    (fun (seg : Timeline.segment) ->
+      if keep seg && seg.Timeline.start < upto then begin
+        let first = column ~scale seg.Timeline.start in
+        let last = column ~scale (min upto seg.Timeline.finish - 1) in
+        for c = first to min last (Array.length cells - 1) do
+          cells.(c) <- mark
+        done
+      end)
+    segments
+
+let instance_spans segments =
+  (* for the [.] preemption-gap fill: span of each instance *)
+  let spans = Hashtbl.create 16 in
+  List.iter
+    (fun (seg : Timeline.segment) ->
+      let key = (seg.Timeline.task, seg.Timeline.instance) in
+      let lo, hi =
+        match Hashtbl.find_opt spans key with
+        | Some (lo, hi) -> (min lo seg.Timeline.start, max hi seg.Timeline.finish)
+        | None -> (seg.Timeline.start, seg.Timeline.finish)
+      in
+      Hashtbl.replace spans key (lo, hi))
+    segments;
+  spans
+
+let render ?(width = 72) ?upto model segments =
+  let horizon = model.Translate.horizon in
+  let upto =
+    match upto with Some u -> min u horizon | None -> horizon
+  in
+  let columns = min width upto in
+  let columns = max columns 1 in
+  let scale = float_of_int upto /. float_of_int columns in
+  let spans = instance_spans segments in
+  let buf = Buffer.create 256 in
+  let name_width =
+    Array.fold_left
+      (fun acc (t : Task.t) -> max acc (String.length t.Task.name))
+      0 model.Translate.tasks
+  in
+  Array.iteri
+    (fun i (task : Task.t) ->
+      let cells = Array.make columns ' ' in
+      (* preemption gaps first, then execution on top *)
+      Hashtbl.iter
+        (fun (t, _) (lo, hi) ->
+          if t = i && lo < upto then
+            for c = column ~scale lo to min (column ~scale (min upto hi - 1)) (columns - 1) do
+              cells.(c) <- '.'
+            done)
+        spans;
+      fill_cells cells ~scale ~upto segments
+        (fun seg -> seg.Timeline.task = i)
+        '#';
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s|\n" name_width task.Task.name
+           (String.init columns (Array.get cells))))
+    model.Translate.tasks;
+  Buffer.contents buf
+
+let render_occupancy ?(width = 72) ~horizon segments =
+  let columns = max 1 (min width horizon) in
+  let scale = float_of_int horizon /. float_of_int columns in
+  let cells = Array.make columns ' ' in
+  fill_cells cells ~scale ~upto:horizon segments (fun _ -> true) '#';
+  Printf.sprintf "cpu |%s|\n" (String.init columns (Array.get cells))

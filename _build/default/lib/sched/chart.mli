@@ -1,0 +1,26 @@
+(** ASCII Gantt charts of execution timelines.
+
+    One row per task, one column per time unit (scaled down for long
+    horizons).  Execution is drawn with [#], preempted-instance gaps
+    with [.], idle time is blank:
+
+    {v
+    TaskA  |##.......####|
+    TaskB  |  ######     |
+    v} *)
+
+val render :
+  ?width:int ->
+  ?upto:int ->
+  Ezrt_blocks.Translate.t ->
+  Timeline.segment list ->
+  string
+(** [render model segments] draws the first hyper-period ([upto]
+    defaults to the model's horizon and is clipped to it).  [width]
+    (default 72) bounds the number of chart columns; longer horizons
+    are scaled, and a column shows [#] when any execution of the task
+    falls into it. *)
+
+val render_occupancy :
+  ?width:int -> horizon:int -> Timeline.segment list -> string
+(** A single-row processor-occupancy strip for the same timeline. *)

@@ -1,0 +1,245 @@
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+
+type metrics = {
+  stored : int;
+  visited : int;
+  eager : int;
+  backtracks : int;
+  max_depth : int;
+  elapsed_s : float;
+}
+
+type failure =
+  | Infeasible
+  | Budget_exhausted
+  | Extraction_failed
+
+let failure_to_string = function
+  | Infeasible -> "no feasible schedule exists (dense-time class graph)"
+  | Budget_exhausted -> "stored-class budget exhausted"
+  | Extraction_failed -> "class path could not be realized at integer times"
+
+type counters = {
+  mutable c_stored : int;
+  mutable c_visited : int;
+  mutable c_eager : int;
+  mutable c_backtracks : int;
+  mutable c_max_depth : int;
+}
+
+exception Found of Pnet.transition_id list
+(* reversed transition sequence *)
+
+let is_final model (c : State_class.t) =
+  c.State_class.marking.(model.Translate.final_place) >= 1
+
+let is_dead model (c : State_class.t) =
+  List.exists
+    (fun pdm -> c.State_class.marking.(pdm) > 0)
+    model.Translate.dead_places
+
+(* Fast path: realize the sequence at the earliest legal integer
+   times, step by step. *)
+let extract_greedy net sequence =
+  let rec go s acc = function
+    | [] -> Some (Schedule.of_actions (List.rev acc))
+    | tid :: rest ->
+      if not (State.is_enabled s tid) then None
+      else
+        let q = State.dlb net s tid in
+        let lo, hi = State.firing_domain net s tid in
+        if q < lo || not (Time_interval.bound_le (Time_interval.Finite q) hi)
+        then None
+        else go (State.fire net s tid q) ((tid, q) :: acc) rest
+  in
+  go (State.initial net) [] sequence
+
+(* Exact path: the firing dates S_1..S_n of the sequence form a system
+   of difference constraints —
+
+   - monotonicity           S_{i-1} - S_i       <= 0
+   - interval of the firing EFT <= S_i - S_e <= LFT  (e = enabling step)
+   - urgency of bystanders  S_k - S_e <= LFT(t) for every transition t
+     enabled from step e through firing k (time cannot pass beyond an
+     enabled transition's latest firing time)
+
+   Enabling steps follow Def 3.1 persistence.  The system is solved by
+   Bellman-Ford; the earliest solution realizes the class path, which
+   is exactly a timed run of the net. *)
+let extract_exact (net : Pnet.t) sequence =
+  let seq = Array.of_list sequence in
+  let n = Array.length seq in
+  (* untimed walk computing per-step enabling points *)
+  let n_trans = Pnet.transition_count net in
+  let enabled_since = Array.make n_trans (-1) in
+  (* -1 = disabled; otherwise the step index (0 = initially) whose date
+     starts the clock *)
+  let marking = Array.copy net.Pnet.m0 in
+  for t = 0 to n_trans - 1 do
+    if State.marking_enables net marking t then enabled_since.(t) <- 0
+  done;
+  (* constraints as (a, b, w) meaning S_b - S_a <= w, nodes 0..n *)
+  let constraints = ref [] in
+  let add a b w = constraints := (a, b, w) :: !constraints in
+  for i = 1 to n do
+    add i (i - 1) 0 (* S_{i-1} <= S_i *)
+  done;
+  let ok = ref true in
+  for i = 1 to n do
+    if !ok then begin
+      let tid = seq.(i - 1) in
+      let e = enabled_since.(tid) in
+      if e < 0 then ok := false
+      else begin
+        let itv = Pnet.interval net tid in
+        (* S_i - S_e >= EFT  <=>  S_e - S_i <= -EFT *)
+        add i e (-Time_interval.eft itv);
+        (match Time_interval.lft itv with
+        | Time_interval.Finite l -> add e i l
+        | Time_interval.Infinity -> ());
+        (* urgency: every transition enabled across this firing bounds
+           this step's date *)
+        for t = 0 to n_trans - 1 do
+          if t <> tid && enabled_since.(t) >= 0 then
+            match Time_interval.lft (Pnet.interval net t) with
+            | Time_interval.Finite l -> add enabled_since.(t) i l
+            | Time_interval.Infinity -> ()
+        done;
+        (* fire untimed, update enabling points per Def 3.1 *)
+        let before = Array.copy marking in
+        Array.iter (fun (p, w) -> marking.(p) <- marking.(p) - w) net.Pnet.pre.(tid);
+        Array.iter (fun (p, w) -> marking.(p) <- marking.(p) + w) net.Pnet.post.(tid);
+        for t = 0 to n_trans - 1 do
+          if not (State.marking_enables net marking t) then enabled_since.(t) <- -1
+          else if t = tid || not (State.marking_enables net before t) then
+            enabled_since.(t) <- i
+          (* persistent: keep its enabling point *)
+        done
+      end
+    end
+  done;
+  if not !ok then None
+  else begin
+    (* earliest solution: x_i = -d(i) with d = shortest paths from node
+       0 over reversed edges (b -> a, weight w) *)
+    let dist = Array.make (n + 1) Dbm.infinity in
+    dist.(0) <- 0;
+    let edges = List.map (fun (a, b, w) -> (b, a, w)) !constraints in
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds <= n + 1 do
+      changed := false;
+      incr rounds;
+      List.iter
+        (fun (src, dst, w) ->
+          if dist.(src) < Dbm.infinity && dist.(src) + w < dist.(dst) then begin
+            dist.(dst) <- dist.(src) + w;
+            changed := true
+          end)
+        edges
+    done;
+    if !changed then None (* negative cycle: infeasible *)
+    else begin
+      let dates = Array.init (n + 1) (fun i -> -dist.(i)) in
+      if Array.exists (fun d -> d < 0) dates then None
+      else begin
+        let actions =
+          List.init n (fun i -> (seq.(i), dates.(i + 1) - dates.(i)))
+        in
+        Some (Schedule.of_actions actions)
+      end
+    end
+  end
+
+let extract net sequence =
+  match extract_greedy net sequence with
+  | Some schedule -> Some schedule
+  | None -> (
+    match extract_exact net sequence with
+    | Some schedule -> (
+      (* certify against the step semantics before handing it out *)
+      match Schedule.replay net schedule with
+      | (_ : State.t) -> Some schedule
+      | exception Invalid_argument _ -> None)
+    | None -> None)
+
+let find_schedule ?(max_stored = 500_000) model =
+  let net = model.Translate.net in
+  let started = Unix.gettimeofday () in
+  let failed = State_class.Table.create 4096 in
+  let counters =
+    { c_stored = 0; c_visited = 0; c_eager = 0; c_backtracks = 0;
+      c_max_depth = 0 }
+  in
+  let budget_hit = ref false in
+  (* a lone firable transition leaves no choice: advance without
+     creating a search node *)
+  let rec eager_advance path_rev c =
+    if is_final model c || is_dead model c then (path_rev, c)
+    else
+      match State_class.firable net c with
+      | [ tid ] ->
+        counters.c_eager <- counters.c_eager + 1;
+        counters.c_visited <- counters.c_visited + 1;
+        eager_advance (tid :: path_rev) (State_class.fire net c tid)
+      | [] | _ :: _ -> (path_rev, c)
+  in
+  let order c candidates =
+    let key tid =
+      let lo, _ = State_class.delay_bounds net c tid in
+      (lo, tid)
+    in
+    List.map snd
+      (List.sort compare (List.map (fun tid -> (key tid, tid)) candidates))
+  in
+  let rec dfs depth path_rev c =
+    if depth > counters.c_max_depth then counters.c_max_depth <- depth;
+    if is_final model c then raise (Found path_rev);
+    if
+      (not (is_dead model c))
+      && (not (State_class.Table.mem failed c))
+      && not !budget_hit
+    then begin
+      if counters.c_stored >= max_stored then budget_hit := true
+      else begin
+        counters.c_stored <- counters.c_stored + 1;
+        counters.c_visited <- counters.c_visited + 1;
+        let candidates = order c (State_class.firable net c) in
+        List.iter
+          (fun tid ->
+            if not !budget_hit then begin
+              let path_rev, c' =
+                eager_advance (tid :: path_rev) (State_class.fire net c tid)
+              in
+              dfs (depth + 1) path_rev c'
+            end)
+          candidates;
+        counters.c_backtracks <- counters.c_backtracks + 1;
+        State_class.Table.replace failed c ()
+      end
+    end
+  in
+  let outcome =
+    match
+      let path0, c0 = eager_advance [] (State_class.initial net) in
+      if is_final model c0 then raise (Found path0);
+      dfs 0 path0 c0
+    with
+    | () -> Error (if !budget_hit then Budget_exhausted else Infeasible)
+    | exception Found path_rev -> (
+      match extract net (List.rev path_rev) with
+      | Some schedule -> Ok schedule
+      | None -> Error Extraction_failed)
+  in
+  let metrics =
+    {
+      stored = counters.c_stored;
+      visited = counters.c_visited;
+      eager = counters.c_eager;
+      backtracks = counters.c_backtracks;
+      max_depth = counters.c_max_depth;
+      elapsed_s = Unix.gettimeofday () -. started;
+    }
+  in
+  (outcome, metrics)

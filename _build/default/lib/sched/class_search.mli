@@ -1,0 +1,35 @@
+(** Pre-runtime schedule synthesis over the dense-time state-class
+    graph ({!Ezrt_tpn.State_class}) instead of the discrete TLTS.
+
+    A class branches only on *which* transition fires next (the firing
+    time is kept symbolic), so the search needs no firing-time
+    heuristic and is complete for dense-time feasibility.  When a path
+    to the final marking is found, a concrete integer schedule is
+    extracted by replaying the transition sequence through the
+    discrete semantics at the earliest legal times, then handed to the
+    same certification pipeline as {!Search} results. *)
+
+type metrics = {
+  stored : int;  (** classes examined as search nodes *)
+  visited : int;
+  eager : int;  (** classes skipped by singleton-chain collapsing *)
+  backtracks : int;
+  max_depth : int;
+  elapsed_s : float;
+}
+
+type failure =
+  | Infeasible
+  | Budget_exhausted
+  | Extraction_failed
+      (** the class path could not be realized at earliest integer
+          times — not expected for translation-generated nets; surfaced
+          rather than silently retried *)
+
+val failure_to_string : failure -> string
+
+val find_schedule :
+  ?max_stored:int ->
+  Ezrt_blocks.Translate.t ->
+  (Schedule.t, failure) result * metrics
+(** [max_stored] defaults to 500_000. *)

@@ -1,0 +1,137 @@
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+module Meaning = Ezrt_blocks.Meaning
+
+type outcome = {
+  schedule : Schedule.t;
+  preemptions : int;
+  explored : int;
+  improvements : int;
+}
+
+(* Incremental preemption accounting mirroring Timeline.of_schedule:
+   a preemptive instance pays one preemption for every unit run that is
+   not contiguous with its previous one.  Mutable state with an undo
+   trail, popped on backtrack. *)
+type accounting = {
+  run_finish : int array;  (* -1 = no open run for the task's instance *)
+  seg_count : int array;
+  mutable cost : int;
+  mutable trail : (int * [ `Run | `Seg ] * int) list list;
+      (* per applied firing: the cells it changed *)
+}
+
+let make_accounting n =
+  { run_finish = Array.make n (-1); seg_count = Array.make n 0; cost = 0;
+    trail = [] }
+
+let apply_firing model acc tid now =
+  let changes = ref [] in
+  let set_run i v =
+    changes := (i, `Run, acc.run_finish.(i)) :: !changes;
+    acc.run_finish.(i) <- v
+  in
+  let set_seg i v =
+    changes := (i, `Seg, acc.seg_count.(i)) :: !changes;
+    acc.seg_count.(i) <- v
+  in
+  let cost_before = acc.cost in
+  (match model.Translate.meanings.(tid) with
+  | Meaning.Release i ->
+    set_run i (-1);
+    set_seg i 0
+  | Meaning.Unit_grab i ->
+    if acc.run_finish.(i) = -1 then set_seg i 1
+    else if acc.run_finish.(i) <> now then begin
+      set_seg i (acc.seg_count.(i) + 1);
+      acc.cost <- acc.cost + 1
+    end
+  | Meaning.Unit_compute i -> set_run i now
+  | Meaning.Finish i ->
+    set_run i (-1);
+    set_seg i 0
+  | Meaning.Start | Meaning.End | Meaning.Phase_arrival _ | Meaning.Arrival _
+  | Meaning.Release_wait _ | Meaning.Grab _ | Meaning.Compute _
+  | Meaning.Excl_grab _
+  | Meaning.Deadline_ok _ | Meaning.Deadline_miss _ | Meaning.Cycle_overrun
+  | Meaning.Precedence _ | Meaning.Msg_grant _ | Meaning.Msg_transfer _ -> ());
+  acc.trail <- ((-1, `Seg, cost_before) :: !changes) :: acc.trail
+
+let undo_firing acc =
+  match acc.trail with
+  | [] -> invalid_arg "Optimize: undo underflow"
+  | changes :: rest ->
+    List.iter
+      (fun (i, kind, old) ->
+        if i = -1 then acc.cost <- old
+        else
+          match kind with
+          | `Run -> acc.run_finish.(i) <- old
+          | `Seg -> acc.seg_count.(i) <- old)
+      changes;
+    acc.trail <- rest
+
+let min_preemptions ?(max_nodes = 2_000_000) ?initial_bound model =
+  let net = model.Translate.net in
+  let n_tasks = Array.length model.Translate.tasks in
+  let acc = make_accounting n_tasks in
+  (* dominance memo: a state already expanded at cost <= current cost
+     cannot yield anything better *)
+  let best_cost_at = State.Table.create 4096 in
+  let incumbent = ref None in
+  let bound = ref (Option.value initial_bound ~default:max_int) in
+  let explored = ref 0 in
+  let improvements = ref 0 in
+  let budget_hit = ref false in
+  (* apply a firing (with accounting), recurse via [k], then undo *)
+  let rec descend path_rev now s =
+    (* collapse forced immediate steps, with accounting *)
+    if Translate.is_final model s then begin
+      (* path complete: candidate schedule *)
+      if acc.cost < !bound then begin
+        bound := acc.cost;
+        incumbent := Some (List.rev path_rev, acc.cost);
+        incr improvements
+      end
+    end
+    else if
+      (not (Translate.is_dead model s))
+      && acc.cost < !bound
+      && (not !budget_hit)
+      &&
+      match State.Table.find_opt best_cost_at s with
+      | Some c when c <= acc.cost -> false
+      | Some _ | None -> true
+    then begin
+      if !explored >= max_nodes then budget_hit := true
+      else begin
+        incr explored;
+        State.Table.replace best_cost_at s acc.cost;
+        let candidates =
+          Priority.order Priority.Continuity model s (State.fireable net s)
+        in
+        List.iter
+          (fun tid ->
+            if not !budget_hit then begin
+              let q = State.dlb net s tid in
+              let now' = now + q in
+              apply_firing model acc tid now';
+              descend ((tid, q) :: path_rev) now' (State.fire net s tid q);
+              undo_firing acc
+            end)
+          candidates
+      end
+    end
+  in
+  descend [] 0 (State.initial net);
+  match !incumbent with
+  | Some (actions, cost) ->
+    Ok
+      {
+        schedule = Schedule.of_actions actions;
+        preemptions = cost;
+        explored = !explored;
+        improvements = !improvements;
+      }
+  | None ->
+    Error (if !budget_hit then Search.Budget_exhausted else Search.Infeasible)

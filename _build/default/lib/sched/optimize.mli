@@ -1,0 +1,31 @@
+(** Exact schedule optimization by branch-and-bound.
+
+    The DFS of {!Search} stops at the first feasible schedule; this
+    module keeps searching the same space for the schedule minimizing a
+    cost, pruning branches whose partial cost already reaches the best
+    known bound.  Failed-state memoization must be weakened to
+    (state, cost) dominance, so this is for small-to-medium models —
+    the paper-scale relation examples, not the 782-instance mine pump.
+
+    Supported cost: the number of preemptions (resume rows in the Fig 8
+    table), the natural objective for table-driven dispatchers where
+    every resume needs a context restore. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  preemptions : int;  (** the proven minimum *)
+  explored : int;  (** branch-and-bound nodes *)
+  improvements : int;  (** how many times the incumbent improved *)
+}
+
+val min_preemptions :
+  ?max_nodes:int ->
+  ?initial_bound:int ->
+  Ezrt_blocks.Translate.t ->
+  (outcome, Search.failure) result
+(** Finds a feasible schedule with the provably minimal number of
+    preemptions.  [initial_bound] primes the incumbent (e.g. from a
+    heuristic run); [max_nodes] (default 2_000_000) bounds the search —
+    when it trips, the best incumbent so far is returned if one exists
+    (no optimality claim) and [explored >= max_nodes] reveals the
+    truncation. *)

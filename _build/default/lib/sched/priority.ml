@@ -1,0 +1,68 @@
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+module Meaning = Ezrt_blocks.Meaning
+module Task = Ezrt_spec.Task
+
+type policy =
+  | Fifo
+  | Edf
+  | Rm
+  | Dm
+  | Continuity
+
+let all =
+  [ ("fifo", Fifo); ("edf", Edf); ("rm", Rm); ("dm", Dm);
+    ("continuity", Continuity) ]
+
+let to_string = function
+  | Fifo -> "fifo"
+  | Edf -> "edf"
+  | Rm -> "rm"
+  | Dm -> "dm"
+  | Continuity -> "continuity"
+
+let no_urgency = max_int / 2
+
+(* Time remaining to the current instance deadline of task [i], read
+   off the deadline-watch transition's clock.  When the watch is not
+   armed the task has no pending instance. *)
+let slack model s i =
+  let td = model.Translate.deadline_watch.(i) in
+  if State.is_enabled s td then
+    match State.dub model.Translate.net s td with
+    | Time_interval.Finite q -> q
+    | Time_interval.Infinity -> no_urgency
+  else no_urgency
+
+(* A preemptive instance is in progress when some units have been
+   consumed but work remains: the unit pool is partially drained or a
+   unit holds the processor right now. *)
+let in_progress model (s : State.t) i =
+  match model.Translate.progress.(i) with
+  | None -> false
+  | Some (pwu, pwx) ->
+    let pending = s.State.marking.(pwu) and running = s.State.marking.(pwx) in
+    let total = pending + running in
+    running > 0 || (total > 0 && total < model.Translate.tasks.(i).Task.wcet)
+
+let key policy model s tid =
+  match Meaning.task_index model.Translate.meanings.(tid) with
+  | None -> no_urgency
+  | Some i -> (
+    let task = model.Translate.tasks.(i) in
+    match policy with
+    | Fifo -> tid
+    | Edf -> slack model s i
+    | Rm -> task.Task.period
+    | Dm -> task.Task.deadline
+    | Continuity ->
+      let started = if in_progress model s i then 0 else 1 in
+      (started * no_urgency) + slack model s i)
+
+let order policy model s candidates =
+  let decorated =
+    List.map
+      (fun tid -> (key policy model s tid, State.dlb model.Translate.net s tid, tid))
+      candidates
+  in
+  List.map (fun (_, _, tid) -> tid) (List.sort compare decorated)

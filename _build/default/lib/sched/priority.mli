@@ -1,0 +1,37 @@
+(** Branch-ordering policies for the depth-first search.
+
+    The TPN's static priority function already filters the fireable set
+    [FT(s)]; among the remaining candidates the search is free to pick
+    any exploration order, and a good order finds a feasible schedule
+    with few backtracks.  Keys are compared smaller-first. *)
+
+open Ezrt_tpn
+
+type policy =
+  | Fifo  (** transition-id order: the unguided baseline *)
+  | Edf
+      (** earliest (absolute) deadline first, read dynamically off the
+          deadline-watch clock of the candidate's task *)
+  | Rm  (** rate monotonic: smallest period first *)
+  | Dm  (** deadline monotonic: smallest relative deadline first *)
+  | Continuity
+      (** preemption-avoiding: prefer the preemptive task whose
+          instance has already executed some units (finishing it avoids
+          a resume row in the table), then fall back to EDF slack *)
+
+val all : (string * policy) list
+val to_string : policy -> string
+
+val key :
+  policy -> Ezrt_blocks.Translate.t -> State.t -> Pnet.transition_id -> int
+(** Ordering key of a candidate transition in a state.  Transitions not
+    belonging to a task (bookkeeping, messages) sort last. *)
+
+val order :
+  policy ->
+  Ezrt_blocks.Translate.t ->
+  State.t ->
+  Pnet.transition_id list ->
+  Pnet.transition_id list
+(** Stable sort of the candidates by {!key}, tie-broken by earliest
+    dynamic lower bound and then transition id. *)

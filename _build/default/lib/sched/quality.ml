@@ -1,0 +1,103 @@
+module Translate = Ezrt_blocks.Translate
+module Task = Ezrt_spec.Task
+
+type task_quality = {
+  task : string;
+  instances : int;
+  best_response : int;
+  worst_response : int;
+  avg_response : float;
+  worst_slack : int;
+  start_jitter : int;
+  preemptions : int;
+}
+
+type t = {
+  tasks : task_quality list;
+  total_preemptions : int;
+  context_switches : int;
+  busy : int;
+  idle : int;
+  makespan : int;
+}
+
+type instance_acc = {
+  mutable first_start : int;
+  mutable last_finish : int;
+}
+
+let of_timeline model segments =
+  let n = Array.length model.Translate.tasks in
+  let per_instance : (int * int, instance_acc) Hashtbl.t = Hashtbl.create 64 in
+  let preemptions = Array.make n 0 in
+  List.iter
+    (fun (seg : Timeline.segment) ->
+      if seg.Timeline.resumed then
+        preemptions.(seg.Timeline.task) <- preemptions.(seg.Timeline.task) + 1;
+      let key = (seg.Timeline.task, seg.Timeline.instance) in
+      match Hashtbl.find_opt per_instance key with
+      | Some acc ->
+        acc.first_start <- min acc.first_start seg.Timeline.start;
+        acc.last_finish <- max acc.last_finish seg.Timeline.finish
+      | None ->
+        Hashtbl.replace per_instance key
+          { first_start = seg.Timeline.start; last_finish = seg.Timeline.finish })
+    segments;
+  let task_rows =
+    List.init n (fun i ->
+        let task = model.Translate.tasks.(i) in
+        let expected = model.Translate.instance_counts.(i) in
+        let responses = ref [] in
+        let slacks = ref [] in
+        let offsets = ref [] in
+        for k = 0 to expected - 1 do
+          match Hashtbl.find_opt per_instance (i, k) with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Quality.of_timeline: %s#%d missing"
+                 task.Task.name k)
+          | Some acc ->
+            let arrival = task.Task.phase + (k * task.Task.period) in
+            responses := (acc.last_finish - arrival) :: !responses;
+            slacks := (arrival + task.Task.deadline - acc.last_finish) :: !slacks;
+            offsets := (acc.first_start - arrival) :: !offsets
+        done;
+        let responses = !responses and slacks = !slacks and offsets = !offsets in
+        let fold f init = List.fold_left f init responses in
+        {
+          task = task.Task.name;
+          instances = expected;
+          best_response = fold min max_int;
+          worst_response = fold max 0;
+          avg_response =
+            float_of_int (fold ( + ) 0) /. float_of_int (max 1 expected);
+          worst_slack = List.fold_left min max_int slacks;
+          start_jitter =
+            List.fold_left max 0 offsets - List.fold_left min max_int offsets;
+          preemptions = preemptions.(i);
+        })
+  in
+  {
+    tasks = task_rows;
+    total_preemptions = Array.fold_left ( + ) 0 preemptions;
+    context_switches = List.length segments;
+    busy = Timeline.busy_time segments;
+    idle = Timeline.idle_time ~horizon:model.Translate.horizon segments;
+    makespan =
+      List.fold_left
+        (fun acc (seg : Timeline.segment) -> max acc seg.Timeline.finish)
+        0 segments;
+  }
+
+let pp fmt q =
+  Format.fprintf fmt
+    "%d context switches, %d preemptions, busy %d / idle %d, makespan %d@."
+    q.context_switches q.total_preemptions q.busy q.idle q.makespan;
+  Format.fprintf fmt "%-10s %5s %9s %9s %9s %7s %7s %6s@." "task" "inst"
+    "best-R" "worst-R" "avg-R" "slack" "jitter" "preem";
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "%-10s %5d %9d %9d %9.1f %7d %7d %6d@." t.task
+        t.instances t.best_response t.worst_response t.avg_response
+        t.worst_slack t.start_jitter t.preemptions)
+    q.tasks

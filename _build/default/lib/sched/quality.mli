@@ -1,0 +1,34 @@
+(** Quality metrics of a synthesized schedule.
+
+    Pre-runtime scheduling fixes every start time, so response times
+    and release jitter are exact numbers rather than bounds; this
+    module derives them from the execution timeline, per task and
+    globally. *)
+
+type task_quality = {
+  task : string;
+  instances : int;
+  best_response : int;  (** min over instances of finish - arrival *)
+  worst_response : int;
+  avg_response : float;
+  worst_slack : int;  (** min over instances of deadline - finish; >= 0 *)
+  start_jitter : int;
+      (** max - min over instances of (first start - arrival) *)
+  preemptions : int;  (** resumed segments of this task *)
+}
+
+type t = {
+  tasks : task_quality list;
+  total_preemptions : int;
+  context_switches : int;
+      (** schedule-table rows: dispatcher activations per hyper-period *)
+  busy : int;
+  idle : int;
+  makespan : int;  (** completion of the last instance *)
+}
+
+val of_timeline : Ezrt_blocks.Translate.t -> Timeline.segment list -> t
+(** Raises [Invalid_argument] when some instance is missing from the
+    timeline (quality is only defined for complete schedules). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,148 @@
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+module Meaning = Ezrt_blocks.Meaning
+
+type options = {
+  policy : Priority.policy;
+  partial_order : bool;
+  latest_release : bool;
+  max_stored : int;
+}
+
+let default_options =
+  { policy = Priority.Edf; partial_order = true; latest_release = false;
+    max_stored = 500_000 }
+
+type failure =
+  | Infeasible
+  | Budget_exhausted
+
+let failure_to_string = function
+  | Infeasible -> "no feasible schedule exists for the explored choice space"
+  | Budget_exhausted -> "stored-state budget exhausted"
+
+type metrics = {
+  stored : int;
+  visited : int;
+  eager : int;
+  backtracks : int;
+  max_depth : int;
+  elapsed_s : float;
+}
+
+type counters = {
+  mutable c_stored : int;
+  mutable c_visited : int;
+  mutable c_eager : int;
+  mutable c_backtracks : int;
+  mutable c_max_depth : int;
+}
+
+exception Found of (Pnet.transition_id * int) list
+(* carries the reversed action path *)
+
+let is_immediate net tid =
+  let itv = Pnet.interval net tid in
+  Time_interval.is_point itv && Time_interval.eft itv = 0
+
+let find_schedule ?(options = default_options) model =
+  let net = model.Translate.net in
+  let started = Unix.gettimeofday () in
+  let failed = State.Table.create 4096 in
+  let counters =
+    { c_stored = 0; c_visited = 0; c_eager = 0; c_backtracks = 0;
+      c_max_depth = 0 }
+  in
+  let budget_hit = ref false in
+  (* Collapse chains of forced immediate firings: when the fireable set
+     is a singleton [0,0] transition, the semantics leaves no choice and
+     no time passes, so the intermediate state need not become a search
+     node. *)
+  let rec eager_advance path_rev s =
+    if
+      options.partial_order
+      && (not (Translate.is_final model s))
+      && not (Translate.is_dead model s)
+    then
+      match State.fireable net s with
+      | [ tid ] when is_immediate net tid ->
+        counters.c_eager <- counters.c_eager + 1;
+        counters.c_visited <- counters.c_visited + 1;
+        eager_advance ((tid, 0) :: path_rev) (State.fire net s tid 0)
+      | [] | _ :: _ -> (path_rev, s)
+    else (path_rev, s)
+  in
+  let firing_times tid (lo, hi) =
+    if
+      options.latest_release
+      &&
+      match model.Translate.meanings.(tid) with
+      | Meaning.Release _ -> true
+      | Meaning.Start | Meaning.End | Meaning.Phase_arrival _
+      | Meaning.Arrival _ | Meaning.Release_wait _ | Meaning.Grab _
+      | Meaning.Compute _
+      | Meaning.Unit_grab _ | Meaning.Unit_compute _ | Meaning.Excl_grab _
+      | Meaning.Finish _ | Meaning.Deadline_ok _ | Meaning.Deadline_miss _
+      | Meaning.Cycle_overrun
+      | Meaning.Precedence _ | Meaning.Msg_grant _ | Meaning.Msg_transfer _ ->
+        false
+    then
+      match hi with
+      | Time_interval.Finite hi when hi > lo -> [ lo; hi ]
+      | Time_interval.Finite _ | Time_interval.Infinity -> [ lo ]
+    else [ lo ]
+  in
+  let rec dfs depth path_rev s =
+    if depth > counters.c_max_depth then counters.c_max_depth <- depth;
+    if Translate.is_final model s then raise (Found path_rev);
+    if
+      (not (Translate.is_dead model s))
+      && (not (State.Table.mem failed s))
+      && not !budget_hit
+    then begin
+      if counters.c_stored >= options.max_stored then budget_hit := true
+      else begin
+        counters.c_stored <- counters.c_stored + 1;
+        counters.c_visited <- counters.c_visited + 1;
+        let ordered =
+          Priority.order options.policy model s (State.fireable net s)
+        in
+        let try_candidate tid =
+          if not !budget_hit then
+            let domain = State.firing_domain net s tid in
+            List.iter
+              (fun q ->
+                if not !budget_hit then begin
+                  let path_rev, s' =
+                    eager_advance ((tid, q) :: path_rev) (State.fire net s tid q)
+                  in
+                  dfs (depth + 1) path_rev s'
+                end)
+              (firing_times tid domain)
+        in
+        List.iter try_candidate ordered;
+        counters.c_backtracks <- counters.c_backtracks + 1;
+        State.Table.replace failed s ()
+      end
+    end
+  in
+  let outcome =
+    match
+      let path0, s0 = eager_advance [] (State.initial net) in
+      if Translate.is_final model s0 then raise (Found path0);
+      dfs 0 path0 s0
+    with
+    | () -> Error (if !budget_hit then Budget_exhausted else Infeasible)
+    | exception Found path_rev -> Ok (Schedule.of_actions (List.rev path_rev))
+  in
+  let metrics =
+    {
+      stored = counters.c_stored;
+      visited = counters.c_visited;
+      eager = counters.c_eager;
+      backtracks = counters.c_backtracks;
+      max_depth = counters.c_max_depth;
+      elapsed_s = Unix.gettimeofday () -. started;
+    }
+  in
+  (outcome, metrics)

@@ -1,0 +1,43 @@
+(** Pre-runtime schedule synthesis (paper §4.4.1): a depth-first search
+    over the TLTS of the translated net, stopping at the desired final
+    marking [MF], with partial-order reduction of deterministic
+    immediate firings and memoization of failed states. *)
+
+type options = {
+  policy : Priority.policy;  (** branch ordering; default [Edf] *)
+  partial_order : bool;
+      (** fire a lone immediate candidate eagerly, without creating a
+          stored search node — the Lilius-style pruning the paper
+          adopts; default true *)
+  latest_release : bool;
+      (** besides the earliest firing time, also branch on the latest
+          time of release windows, allowing inserted idle time;
+          default false (the paper's search is work-conserving) *)
+  max_stored : int;  (** stored-state budget; default 500_000 *)
+}
+
+val default_options : options
+
+type failure =
+  | Infeasible  (** the search space is exhausted: no feasible schedule *)
+  | Budget_exhausted
+
+val failure_to_string : failure -> string
+
+type metrics = {
+  stored : int;
+      (** search nodes examined — the paper's "states searched" *)
+  visited : int;  (** stored plus eagerly fired intermediate states *)
+  eager : int;  (** states skipped by the partial-order reduction *)
+  backtracks : int;  (** stored nodes whose subtree was exhausted *)
+  max_depth : int;
+  elapsed_s : float;
+}
+
+val find_schedule :
+  ?options:options ->
+  Ezrt_blocks.Translate.t ->
+  (Schedule.t, failure) result * metrics
+(** On success the returned schedule has been found by the DFS; callers
+    can certify it independently with {!Schedule.replay} and
+    {!Validator.check}. *)

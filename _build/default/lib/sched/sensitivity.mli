@@ -1,0 +1,57 @@
+(** WCET sensitivity analysis.
+
+    Pre-runtime schedules are synthesized against worst-case execution
+    times; a WCET estimate that later grows can void feasibility.  This
+    module measures, per task, the largest WCET for which the whole
+    specification remains schedulable (all other parameters fixed) —
+    the task's WCET margin — by binary search over full syntheses.
+
+    The margin is with respect to the schedulability of the *modified
+    specification*, so it accounts for every relation and for the other
+    tasks' constraints, not just the task's own deadline. *)
+
+type row = {
+  task : string;
+  wcet : int;
+  max_wcet : int;
+      (** largest feasible WCET found (at least [wcet] when the input
+          is schedulable) *)
+  margin : int;  (** [max_wcet - wcet] *)
+}
+
+type t = {
+  rows : row list;
+  syntheses : int;  (** schedule syntheses performed *)
+}
+
+val analyze :
+  ?options:Search.options -> ?limit_factor:int -> Ezrt_spec.Spec.t -> (t, string) result
+(** [limit_factor] bounds the search: a task's WCET is never probed
+    beyond [min (deadline - release, limit_factor * wcet)] (default 16).
+    Returns [Error] when the specification itself is invalid or not
+    schedulable. *)
+
+val pp : Format.formatter -> t -> unit
+
+type deadline_row = {
+  d_task : string;
+  deadline : int;
+  min_deadline : int;
+      (** smallest deadline for which the whole specification stays
+          schedulable — the task's exact best-achievable worst-case
+          response bound under pre-runtime scheduling *)
+  d_margin : int;  (** [deadline - min_deadline] *)
+}
+
+type deadline_report = {
+  d_rows : deadline_row list;
+  d_syntheses : int;
+}
+
+val deadline_margins :
+  ?options:Search.options -> Ezrt_spec.Spec.t -> (deadline_report, string) result
+(** Per task, binary search for the tightest deadline the synthesis
+    can still meet (all other parameters fixed).  Returns [Error] when
+    the specification is invalid or unschedulable as given. *)
+
+val pp_deadlines : Format.formatter -> deadline_report -> unit

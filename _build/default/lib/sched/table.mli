@@ -1,0 +1,25 @@
+(** The schedule table of paper Fig 8: one row per execution part of a
+    task instance, with the start time, a flag telling the dispatcher
+    whether the instance was preempted before (so its context must be
+    restored rather than its entry point called), and the task id. *)
+
+type item = {
+  start : int;
+  resumed : bool;  (** Fig 8's [flag]: true on resume rows *)
+  task : int;  (** task index; the generated C uses [task + 1] as id *)
+  instance : int;  (** 0-based instance number *)
+  preempts : (int * int) option;
+      (** the (task, instance) cut short at this row's start, if any —
+          drives the Fig 8 row comments *)
+}
+
+val of_segments : Timeline.segment list -> item list
+(** Rows in start-time order. *)
+
+val of_schedule : Ezrt_blocks.Translate.t -> Schedule.t -> item list
+
+val row_comment : Ezrt_blocks.Translate.t -> item -> string
+(** ["A1 starts"], ["B1 preempts A1"] or ["B1 resumes"], matching the
+    comments of Fig 8 (instances are numbered from 1 there). *)
+
+val pp : Ezrt_blocks.Translate.t -> Format.formatter -> item list -> unit

@@ -1,0 +1,121 @@
+module Translate = Ezrt_blocks.Translate
+module Meaning = Ezrt_blocks.Meaning
+module Task = Ezrt_spec.Task
+
+type segment = {
+  task : int;
+  instance : int;
+  start : int;
+  finish : int;
+  resumed : bool;
+}
+
+let duration seg = seg.finish - seg.start
+
+type task_progress = {
+  mutable releases : int;  (* instances released so far *)
+  mutable open_at : int;  (* start of the in-flight np computation / unit *)
+  mutable pending : (int * int) option;  (* merged unit run [start, finish) *)
+  mutable emitted : int;  (* segments emitted for the current instance *)
+}
+
+let of_schedule model schedule =
+  let n = Array.length model.Translate.tasks in
+  let progress =
+    Array.init n (fun _ ->
+        { releases = 0; open_at = -1; pending = None; emitted = 0 })
+  in
+  let segments = ref [] in
+  let emit i start finish =
+    let p = progress.(i) in
+    segments :=
+      {
+        task = i;
+        instance = p.releases - 1;
+        start;
+        finish;
+        resumed = p.emitted > 0;
+      }
+      :: !segments;
+    p.emitted <- p.emitted + 1
+  in
+  let flush_pending i =
+    let p = progress.(i) in
+    match p.pending with
+    | None -> ()
+    | Some (start, finish) ->
+      p.pending <- None;
+      emit i start finish
+  in
+  let step (e : Schedule.entry) =
+    let time = e.Schedule.time in
+    match model.Translate.meanings.(e.Schedule.tid) with
+    | Meaning.Release i ->
+      let p = progress.(i) in
+      p.releases <- p.releases + 1;
+      p.emitted <- 0
+    | Meaning.Grab i -> progress.(i).open_at <- time
+    | Meaning.Compute i ->
+      let p = progress.(i) in
+      if p.open_at < 0 then
+        invalid_arg "Timeline.of_schedule: compute without grab";
+      emit i p.open_at time;
+      p.open_at <- -1
+    | Meaning.Unit_grab i ->
+      let p = progress.(i) in
+      (* A unit starting later than the pending run ends means the task
+         was preempted: close the previous segment. *)
+      (match p.pending with
+      | Some (_, finish) when finish <> time -> flush_pending i
+      | Some _ | None -> ());
+      p.open_at <- time
+    | Meaning.Unit_compute i ->
+      let p = progress.(i) in
+      if p.open_at < 0 then
+        invalid_arg "Timeline.of_schedule: unit-compute without unit-grab";
+      (match p.pending with
+      | Some (start, finish) when finish = p.open_at ->
+        p.pending <- Some (start, time)
+      | Some _ | None -> p.pending <- Some (p.open_at, time));
+      p.open_at <- -1
+    | Meaning.Finish i -> flush_pending i
+    | Meaning.Start | Meaning.End | Meaning.Phase_arrival _
+    | Meaning.Arrival _ | Meaning.Release_wait _ | Meaning.Excl_grab _
+    | Meaning.Deadline_ok _ | Meaning.Deadline_miss _ | Meaning.Cycle_overrun
+    | Meaning.Precedence _ | Meaning.Msg_grant _ | Meaning.Msg_transfer _ -> ()
+  in
+  List.iter step schedule.Schedule.entries;
+  List.sort
+    (fun a b -> compare (a.start, a.task, a.instance) (b.start, b.task, b.instance))
+    !segments
+
+let busy_time segments =
+  List.fold_left (fun acc seg -> acc + duration seg) 0 segments
+
+let idle_time ~horizon segments = horizon - busy_time segments
+
+let executed_instances segments =
+  List.sort_uniq compare
+    (List.map (fun seg -> (seg.task, seg.instance)) segments)
+
+let energy_by_task model segments =
+  let totals = Array.make (Array.length model.Translate.tasks) 0 in
+  List.iter
+    (fun (task, _) ->
+      totals.(task) <- totals.(task) + model.Translate.tasks.(task).Task.energy)
+    (executed_instances segments);
+  Array.to_list
+    (Array.mapi
+       (fun i total -> (model.Translate.tasks.(i).Task.name, total))
+       totals)
+
+let energy_of model segments =
+  List.fold_left (fun acc (_, e) -> acc + e) 0 (energy_by_task model segments)
+
+let pp model fmt segments =
+  List.iter
+    (fun seg ->
+      Format.fprintf fmt "  [%4d, %4d) %s#%d%s@." seg.start seg.finish
+        model.Translate.tasks.(seg.task).Task.name seg.instance
+        (if seg.resumed then " (resumed)" else ""))
+    segments

@@ -1,0 +1,35 @@
+(** Task-level execution timeline derived from a feasible firing
+    schedule: which task instance occupied the processor when.
+
+    Preemptive unit firings are merged into maximal contiguous
+    segments; an instance executed in several segments was preempted
+    in between, and every segment after the first carries
+    [resumed = true] (the Fig 8 flag). *)
+
+type segment = {
+  task : int;  (** task index *)
+  instance : int;  (** 0-based instance number within the hyper-period *)
+  start : int;
+  finish : int;  (** exclusive: the processor is held on [start, finish) *)
+  resumed : bool;
+}
+
+val duration : segment -> int
+
+val of_schedule : Ezrt_blocks.Translate.t -> Schedule.t -> segment list
+(** Segments sorted by start time.  Raises [Invalid_argument] when the
+    schedule is not consistent with the net's block structure (which
+    cannot happen for schedules produced by {!Search}). *)
+
+val busy_time : segment list -> int
+val idle_time : horizon:int -> segment list -> int
+
+val energy_of : Ezrt_blocks.Translate.t -> segment list -> int
+(** Total energy of the executed instances (each instance costs its
+    task's metamodel [energy] value once). *)
+
+val energy_by_task : Ezrt_blocks.Translate.t -> segment list -> (string * int) list
+(** Energy per task name, in task order. *)
+
+val pp : Ezrt_blocks.Translate.t -> Format.formatter -> segment list -> unit
+(** One line per segment: [  [start, finish) TaskName#instance (resumed)]. *)

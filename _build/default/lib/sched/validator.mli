@@ -1,0 +1,33 @@
+(** Independent check of a synthesized timeline against the
+    specification.
+
+    This deliberately does not look at the Petri net: it re-derives
+    every timing constraint from the task parameters and relations, so
+    that a bug in the block library or in the search cannot vouch for
+    itself. *)
+
+type violation =
+  | Wrong_instance_count of string * int * int  (** task, expected, got *)
+  | Wrong_amount of string * int * int * int
+      (** task, instance, expected WCET, executed *)
+  | Started_before_release of string * int * int * int
+      (** task, instance, earliest legal start, actual *)
+  | Missed_deadline of string * int * int * int
+      (** task, instance, deadline, completion *)
+  | Fragmented_non_preemptive of string * int
+  | Processor_overlap of string * string * int
+      (** two segments hold the processor at the same instant *)
+  | Precedence_violated of string * string * int
+      (** pred, succ, instance *)
+  | Exclusion_interleaved of string * string * int
+      (** the instance spans of an excluded pair overlap; time given *)
+  | Message_too_early of string * int
+      (** receiver started before the message could be delivered *)
+
+val violation_to_string : violation -> string
+
+val check :
+  Ezrt_blocks.Translate.t -> Timeline.segment list -> (unit, violation list) result
+
+val check_exn : Ezrt_blocks.Translate.t -> Timeline.segment list -> unit
+(** Raises [Failure] listing the violations. *)

@@ -1,0 +1,102 @@
+module Translate = Ezrt_blocks.Translate
+module Task = Ezrt_spec.Task
+
+(* VCD identifier codes: printable ASCII from '!' (33) upward. *)
+let code i = String.make 1 (Char.chr (33 + i))
+
+(* VCD reference names must not contain whitespace. *)
+let mangle name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let of_timeline ?(timescale = "1us") model segments =
+  let n = Array.length model.Translate.tasks in
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "$comment ezRealtime synthesized schedule: %s $end\n"
+    model.Translate.spec.Ezrt_spec.Spec.name;
+  out "$timescale %s $end\n" timescale;
+  out "$scope module ezrt $end\n";
+  for i = 0 to n - 1 do
+    out "$var wire 1 %s %s $end\n" (code i)
+      (mangle model.Translate.tasks.(i).Task.name)
+  done;
+  out "$var wire 1 %s cpu $end\n" (code n);
+  out "$upscope $end\n$enddefinitions $end\n";
+  (* change list: (time, wire index, value) *)
+  let changes = ref [] in
+  List.iter
+    (fun (seg : Timeline.segment) ->
+      changes :=
+        (seg.Timeline.start, seg.Timeline.task, true)
+        :: (seg.Timeline.finish, seg.Timeline.task, false)
+        :: (seg.Timeline.start, n, true)
+        :: (seg.Timeline.finish, n, false)
+        :: !changes)
+    segments;
+  let changes =
+    List.sort
+      (fun (ta, wa, va) (tb, wb, vb) ->
+        (* at equal times, falling edges first so back-to-back
+           segments produce 0 then 1 (net: stays 1 for the cpu wire
+           only if re-raised, which the later rise does) *)
+        compare (ta, not va, wa) (tb, not vb, wb))
+      !changes
+  in
+  out "$dumpvars\n";
+  for i = 0 to n do
+    out "0%s\n" (code i)
+  done;
+  out "$end\n";
+  let current = Array.make (n + 1) false in
+  let emitted_time = ref (-1) in
+  (* coalesce: apply all changes of an instant, emit the net effect *)
+  let pending = Array.make (n + 1) None in
+  let flush time =
+    let any = ref false in
+    Array.iteri
+      (fun w v ->
+        match v with
+        | Some value when value <> current.(w) -> any := true
+        | Some _ | None -> ())
+      pending;
+    if !any then begin
+      if time <> !emitted_time then begin
+        out "#%d\n" time;
+        emitted_time := time
+      end;
+      Array.iteri
+        (fun w v ->
+          match v with
+          | Some value when value <> current.(w) ->
+            current.(w) <- value;
+            out "%c%s\n" (if value then '1' else '0') (code w)
+          | Some _ | None -> ())
+        pending
+    end;
+    Array.fill pending 0 (n + 1) None
+  in
+  let rec walk last = function
+    | [] -> flush last
+    | (time, wire, value) :: rest ->
+      if time <> last then flush last;
+      (* a rise overrides a fall at the same instant (continuous
+         occupancy), a fall never overrides a rise *)
+      (match pending.(wire) with
+      | Some true when not value -> ()
+      | Some _ | None -> pending.(wire) <- Some value);
+      walk time rest
+  in
+  (match changes with
+  | [] -> ()
+  | (t0, _, _) :: _ -> walk t0 changes);
+  out "#%d\n" model.Translate.horizon;
+  Buffer.contents buf
+
+let save_file ?timescale path model segments =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (of_timeline ?timescale model segments))

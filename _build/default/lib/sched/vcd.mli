@@ -1,0 +1,21 @@
+(** Value Change Dump (IEEE 1364) export of execution timelines.
+
+    One 1-bit wire per task (high while the task holds the processor)
+    plus a [cpu] busy wire, so synthesized schedules can be inspected
+    in GTKWave or any other EDA waveform viewer next to the signals of
+    the rest of the design. *)
+
+val of_timeline :
+  ?timescale:string ->
+  Ezrt_blocks.Translate.t ->
+  Timeline.segment list ->
+  string
+(** [timescale] defaults to ["1us"] (one time unit = 1 microsecond).
+    The dump covers [0 .. horizon]. *)
+
+val save_file :
+  ?timescale:string ->
+  string ->
+  Ezrt_blocks.Translate.t ->
+  Timeline.segment list ->
+  unit

@@ -1,0 +1,1 @@
+lib/spec/case_studies.mli: Spec

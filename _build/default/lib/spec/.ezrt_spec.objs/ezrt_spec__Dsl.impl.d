@@ -1,0 +1,1 @@
+lib/spec/dsl.ml: Ezrt_xml In_channel List Message Option Out_channel Printf Processor Spec String Task

@@ -1,0 +1,1 @@
+lib/spec/dsl.mli: Ezrt_xml Spec

@@ -1,0 +1,1 @@
+lib/spec/message.ml: Option

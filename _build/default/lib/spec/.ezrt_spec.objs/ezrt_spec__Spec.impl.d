@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Format List Message Printf Processor String Task

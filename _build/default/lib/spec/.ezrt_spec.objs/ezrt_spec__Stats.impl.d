@@ -1,0 +1,1 @@
+lib/spec/stats.ml: Format List Printf Spec String Task

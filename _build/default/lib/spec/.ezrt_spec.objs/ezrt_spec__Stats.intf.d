@@ -1,0 +1,1 @@
+lib/spec/stats.mli: Format Spec

@@ -1,0 +1,1 @@
+lib/spec/task.ml: Format Option

@@ -1,0 +1,1 @@
+lib/spec/validate.ml: Hashtbl List Message Option Printf Processor Spec String Task

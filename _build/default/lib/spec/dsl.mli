@@ -1,0 +1,27 @@
+(** The ezRealtime XML DSL (paper Fig 7).
+
+    The vocabulary follows the figure — root [rt:ez-spec] in the
+    [http://pnmp.sf.net/EZRealtime] namespace, one [Task] element per
+    task with [identifier], [precedesTasks] and [excludesTasks]
+    reference attributes (["#id"] tokens, space-separated) and child
+    elements [processor], [name], [period], [phase], [release],
+    [power], [schedulingMode] (NP/P), [computing], [deadline] and
+    [sourceCode] — extended with [Processor] and [Message] elements for
+    the rest of the Fig 5 metamodel. *)
+
+val namespace : string
+
+val to_xml : Spec.t -> Ezrt_xml.Doc.node
+val to_string : Spec.t -> string
+(** Pretty-printed document with the XML declaration. *)
+
+type error = { context : string; message : string }
+
+val error_to_string : error -> string
+
+val of_xml : Ezrt_xml.Doc.node -> (Spec.t, error) result
+val of_string : string -> (Spec.t, error) result
+val of_string_exn : string -> Spec.t
+
+val load_file : string -> (Spec.t, error) result
+val save_file : string -> Spec.t -> unit

@@ -1,0 +1,23 @@
+type t = {
+  id : string;
+  name : string;
+  sender : string;
+  receiver : string;
+  bus : string;
+  grant_time : int;
+  comm_time : int;
+}
+
+let make ?id ?(bus = "bus0") ?(grant_time = 0) ?(comm_time = 1) ~name ~sender
+    ~receiver () =
+  {
+    id = Option.value id ~default:name;
+    name;
+    sender;
+    receiver;
+    bus;
+    grant_time;
+    comm_time;
+  }
+
+let duration m = m.grant_time + m.comm_time

@@ -1,0 +1,34 @@
+(** Inter-task messages (Fig 5 metamodel: name, bus, grantBus,
+    communication).
+
+    A message is sent by one task to another over a bus resource; it
+    implies a precedence from sender to receiver through the
+    communication, which occupies the bus for [grant_time + comm_time]
+    units.  Sender and receiver must share a period so that instances
+    pair up. *)
+
+type t = {
+  id : string;
+  name : string;
+  sender : string;  (** task identifier *)
+  receiver : string;  (** task identifier *)
+  bus : string;  (** bus resource identifier *)
+  grant_time : int;  (** metamodel [grantBus]: arbitration delay *)
+  comm_time : int;  (** metamodel [communication]: transfer time *)
+}
+
+val make :
+  ?id:string ->
+  ?bus:string ->
+  ?grant_time:int ->
+  ?comm_time:int ->
+  name:string ->
+  sender:string ->
+  receiver:string ->
+  unit ->
+  t
+(** Defaults: [id] = name, [bus] = ["bus0"], [grant_time] = 0,
+    [comm_time] = 1. *)
+
+val duration : t -> int
+(** Total bus occupancy, [grant_time + comm_time]. *)

@@ -1,0 +1,3 @@
+type t = { id : string; name : string }
+
+let make ?id name = { id = Option.value id ~default:name; name }

@@ -1,0 +1,9 @@
+(** Processors of the Fig 5 metamodel.  The paper's synthesis is
+    constrained to a mono-processor architecture; the metamodel still
+    names the processor so that specifications stay explicit about the
+    deployment target. *)
+
+type t = { id : string; name : string }
+
+val make : ?id:string -> string -> t
+(** [id] defaults to the name. *)

@@ -1,0 +1,93 @@
+type task_row = {
+  name : string;
+  utilization : float;
+  density : float;
+  instances : int;
+  laxity : int;
+}
+
+type t = {
+  tasks : task_row list;
+  total_utilization : float;
+  total_density : float;
+  hyperperiod : int;
+  total_instances : int;
+  busy_time : int;
+  harmonic : bool;
+  period_classes : (int * int) list;
+  min_laxity : int;
+}
+
+let compute spec =
+  let horizon = Spec.hyperperiod spec in
+  let tasks =
+    List.map
+      (fun (task : Task.t) ->
+        let c = float_of_int task.Task.wcet in
+        {
+          name = task.Task.name;
+          utilization = c /. float_of_int task.Task.period;
+          density = c /. float_of_int (min task.Task.deadline task.Task.period);
+          instances = Task.instances_in task horizon;
+          laxity = task.Task.deadline - task.Task.wcet - task.Task.release;
+        })
+      spec.Spec.tasks
+  in
+  let periods =
+    List.sort_uniq compare
+      (List.map (fun (t : Task.t) -> t.Task.period) spec.Spec.tasks)
+  in
+  let period_classes =
+    List.map
+      (fun p ->
+        ( p,
+          List.length
+            (List.filter
+               (fun (t : Task.t) -> t.Task.period = p)
+               spec.Spec.tasks) ))
+      periods
+  in
+  let harmonic =
+    (* sorted periods: harmonic iff each divides the next *)
+    let rec chain = function
+      | a :: (b :: _ as rest) -> b mod a = 0 && chain rest
+      | [ _ ] | [] -> true
+    in
+    chain periods
+  in
+  {
+    tasks;
+    total_utilization = Spec.utilization spec;
+    total_density = List.fold_left (fun acc r -> acc +. r.density) 0.0 tasks;
+    hyperperiod = horizon;
+    total_instances = Spec.total_instances spec;
+    busy_time =
+      List.fold_left
+        (fun acc (t : Task.t) ->
+          acc + (Task.instances_in t horizon * t.Task.wcet))
+        0 spec.Spec.tasks;
+    harmonic;
+    period_classes;
+    min_laxity = List.fold_left (fun acc r -> min acc r.laxity) max_int tasks;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "U = %.3f, density = %.3f, H = %d, %d instances, busy %d/%d (%.1f%%), \
+     %s periods %s, min laxity %d@."
+    s.total_utilization s.total_density s.hyperperiod s.total_instances
+    s.busy_time s.hyperperiod
+    (100.0 *. float_of_int s.busy_time /. float_of_int s.hyperperiod)
+    (if s.harmonic then "harmonic" else "non-harmonic")
+    (String.concat ", "
+       (List.map
+          (fun (p, n) -> Printf.sprintf "%dx%d" n p)
+          s.period_classes))
+    s.min_laxity;
+  Format.fprintf fmt "%-10s %7s %8s %9s %7s@." "task" "util" "density"
+    "instances" "laxity";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-10s %7.3f %8.3f %9d %7d@." r.name r.utilization
+        r.density r.instances r.laxity)
+    s.tasks

@@ -1,0 +1,36 @@
+(** Workload statistics for specifications — the numbers a real-time
+    engineer reads before synthesis.
+
+    All quantities are derived purely from the task parameters; they
+    bound or characterize the search problem without running it. *)
+
+type task_row = {
+  name : string;
+  utilization : float;  (** c / p *)
+  density : float;  (** c / min(d, p): > utilization for d < p *)
+  instances : int;  (** over the hyper-period *)
+  laxity : int;  (** d - c - r: scheduling slack per instance *)
+}
+
+type t = {
+  tasks : task_row list;
+  total_utilization : float;
+  total_density : float;
+      (** a total density <= 1 makes EDF feasible for independent
+          preemptive tasks; > 1 decides nothing *)
+  hyperperiod : int;
+  total_instances : int;
+  busy_time : int;  (** sum of instances x wcet *)
+  harmonic : bool;
+      (** every period pair divides one another — the case where the
+          Liu-Layland bound reaches 1.0 *)
+  period_classes : (int * int) list;
+      (** distinct periods with their task counts, ascending *)
+  min_laxity : int;
+}
+
+val compute : Spec.t -> t
+(** Raises [Invalid_argument] on an empty task list (like
+    {!Spec.hyperperiod}). *)
+
+val pp : Format.formatter -> t -> unit

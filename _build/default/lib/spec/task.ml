@@ -1,0 +1,49 @@
+type scheduling_mode =
+  | Non_preemptive
+  | Preemptive
+
+let scheduling_mode_to_string = function
+  | Non_preemptive -> "NP"
+  | Preemptive -> "P"
+
+let scheduling_mode_of_string = function
+  | "NP" | "np" | "nonpreemptive" | "non-preemptive" -> Some Non_preemptive
+  | "P" | "p" | "preemptive" -> Some Preemptive
+  | _ -> None
+
+type t = {
+  id : string;
+  name : string;
+  phase : int;
+  release : int;
+  wcet : int;
+  deadline : int;
+  period : int;
+  mode : scheduling_mode;
+  energy : int;
+  processor : string;
+  code : string option;
+}
+
+let make ?id ?(phase = 0) ?(release = 0) ?(mode = Non_preemptive) ?(energy = 0)
+    ?(processor = "cpu0") ?code ~name ~wcet ~deadline ~period () =
+  {
+    id = Option.value id ~default:name;
+    name;
+    phase;
+    release;
+    wcet;
+    deadline;
+    period;
+    mode;
+    energy;
+    processor;
+    code;
+  }
+
+let instances_in task horizon =
+  if task.period <= 0 then 0 else horizon / task.period
+
+let pp fmt t =
+  Format.fprintf fmt "%s(ph=%d r=%d c=%d d=%d p=%d %s)" t.name t.phase t.release
+    t.wcet t.deadline t.period (scheduling_mode_to_string t.mode)

@@ -1,0 +1,57 @@
+(** Periodic tasks of the specification model (paper §3.2 and the Fig 5
+    metamodel).
+
+    A task's timing constraints are [(ph, r, c, d, p)]: phase offset of
+    the first request, release time, worst-case execution time,
+    deadline and period — release, WCET and deadline are relative to
+    the start of each period.  The model requires [c <= d <= p]. *)
+
+type scheduling_mode =
+  | Non_preemptive
+  | Preemptive
+
+val scheduling_mode_to_string : scheduling_mode -> string
+(** ["NP"] or ["P"], the DSL vocabulary of Fig 7. *)
+
+val scheduling_mode_of_string : string -> scheduling_mode option
+
+type t = {
+  id : string;  (** metamodel [identifier] *)
+  name : string;
+  phase : int;
+  release : int;
+  wcet : int;
+  deadline : int;
+  period : int;
+  mode : scheduling_mode;
+  energy : int;  (** metamodel [energy] / DSL [power]; per-run cost *)
+  processor : string;  (** processor identifier *)
+  code : string option;  (** behavioural C source (metamodel SourceCode) *)
+}
+
+val make :
+  ?id:string ->
+  ?phase:int ->
+  ?release:int ->
+  ?mode:scheduling_mode ->
+  ?energy:int ->
+  ?processor:string ->
+  ?code:string ->
+  name:string ->
+  wcet:int ->
+  deadline:int ->
+  period:int ->
+  unit ->
+  t
+(** [id] defaults to the task name; [phase]/[release]/[energy] to 0;
+    [mode] to [Non_preemptive]; [processor] to ["cpu0"].  No validation
+    here — see {!Validate}. *)
+
+val instances_in : t -> int -> int
+(** [instances_in task horizon] is the number of task instances in a
+    schedule period of [horizon] time units, [horizon / period]
+    (the paper's [N(ti)]); phase does not change the count because the
+    horizon is a multiple of the period and instances are counted per
+    started period. *)
+
+val pp : Format.formatter -> t -> unit

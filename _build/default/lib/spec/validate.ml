@@ -1,0 +1,184 @@
+type error =
+  | No_tasks
+  | Duplicate_task_id of string
+  | Duplicate_task_name of string
+  | Bad_timing of string * string
+  | Unknown_processor of string * string
+  | Multi_processor of string list
+  | Unknown_task_ref of string * string
+  | Self_relation of string * string
+  | Precedence_cycle of string list
+  | Period_mismatch of string * string * string
+  | Overutilized of float
+  | Bad_message of string * string
+
+type warning =
+  | Exclusion_with_precedence of string * string
+  | Zero_wcet_task of string
+
+let error_to_string = function
+  | No_tasks -> "specification has no tasks"
+  | Duplicate_task_id id -> Printf.sprintf "duplicate task identifier %S" id
+  | Duplicate_task_name n -> Printf.sprintf "duplicate task name %S" n
+  | Bad_timing (task, what) ->
+    Printf.sprintf "task %s violates timing constraint %s" task what
+  | Unknown_processor (task, proc) ->
+    Printf.sprintf "task %s references unknown processor %S" task proc
+  | Multi_processor procs ->
+    Printf.sprintf
+      "tasks are deployed on %d processors (%s); the synthesis is \
+       mono-processor"
+      (List.length procs) (String.concat ", " procs)
+  | Unknown_task_ref (ctx, id) ->
+    Printf.sprintf "%s references unknown task %S" ctx id
+  | Self_relation (kind, id) ->
+    Printf.sprintf "%s relation of task %S with itself" kind id
+  | Precedence_cycle cycle ->
+    Printf.sprintf "precedence cycle: %s" (String.concat " -> " cycle)
+  | Period_mismatch (ctx, a, b) ->
+    Printf.sprintf "%s between %s and %s requires equal periods" ctx a b
+  | Overutilized u ->
+    Printf.sprintf "processor utilization %.3f exceeds 1.0" u
+  | Bad_message (name, what) -> Printf.sprintf "message %s: %s" name what
+
+let warning_to_string = function
+  | Exclusion_with_precedence (a, b) ->
+    Printf.sprintf
+      "tasks %s and %s are both ordered by precedence and excluded; the \
+       exclusion is redundant"
+      a b
+  | Zero_wcet_task name -> Printf.sprintf "task %s has zero WCET" name
+
+type outcome = { errors : error list; warnings : warning list }
+
+let check_task (t : Task.t) =
+  let errs = ref [] in
+  let bad what = errs := Bad_timing (t.Task.name, what) :: !errs in
+  if t.Task.wcet < 0 then bad "c >= 0";
+  if t.Task.phase < 0 then bad "ph >= 0";
+  if t.Task.release < 0 then bad "r >= 0";
+  if t.Task.period <= 0 then bad "p >= 1";
+  if t.Task.deadline <= 0 then bad "d >= 1";
+  if t.Task.wcet > t.Task.deadline then bad "c <= d";
+  if t.Task.deadline > t.Task.period then bad "d <= p";
+  if t.Task.release + t.Task.wcet > t.Task.deadline then bad "r + c <= d";
+  List.rev !errs
+
+(* DFS cycle detection over the precedence edges; returns one cycle. *)
+let find_cycle tasks precedences =
+  let succ = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let old = Option.value (Hashtbl.find_opt succ a) ~default:[] in
+      Hashtbl.replace succ a (b :: old))
+    precedences;
+  let state = Hashtbl.create 16 in
+  (* 0 = in progress, 1 = done *)
+  let exception Cycle of string list in
+  let rec visit path id =
+    match Hashtbl.find_opt state id with
+    | Some 1 -> ()
+    | Some _ ->
+      let rec cut = function
+        | [] -> [ id ]
+        | x :: rest -> if String.equal x id then [ x ] else x :: cut rest
+      in
+      raise (Cycle (List.rev (id :: cut path)))
+    | None ->
+      Hashtbl.replace state id 0;
+      List.iter (visit (id :: path))
+        (Option.value (Hashtbl.find_opt succ id) ~default:[]);
+      Hashtbl.replace state id 1
+  in
+  match List.iter (fun (t : Task.t) -> visit [] t.Task.id) tasks with
+  | () -> None
+  | exception Cycle c -> Some c
+
+let check spec =
+  let errors = ref [] in
+  let warnings = ref [] in
+  let err e = errors := e :: !errors in
+  let warn w = warnings := w :: !warnings in
+  let tasks = spec.Spec.tasks in
+  if tasks = [] then err No_tasks;
+  let seen_ids = Hashtbl.create 16 in
+  let seen_names = Hashtbl.create 16 in
+  List.iter
+    (fun (t : Task.t) ->
+      if Hashtbl.mem seen_ids t.Task.id then err (Duplicate_task_id t.Task.id)
+      else Hashtbl.add seen_ids t.Task.id ();
+      if Hashtbl.mem seen_names t.Task.name then
+        err (Duplicate_task_name t.Task.name)
+      else Hashtbl.add seen_names t.Task.name ();
+      List.iter err (check_task t);
+      if t.Task.wcet = 0 then warn (Zero_wcet_task t.Task.name))
+    tasks;
+  let proc_ids =
+    List.map (fun (p : Processor.t) -> p.Processor.id) spec.Spec.processors
+  in
+  List.iter
+    (fun (t : Task.t) ->
+      if not (List.mem t.Task.processor proc_ids) then
+        err (Unknown_processor (t.Task.name, t.Task.processor)))
+    tasks;
+  let used_procs =
+    List.sort_uniq compare (List.map (fun (t : Task.t) -> t.Task.processor) tasks)
+  in
+  if List.length used_procs > 1 then err (Multi_processor used_procs);
+  let known id = Hashtbl.mem seen_ids id in
+  let check_pair ~pair_periods ctx (a, b) =
+    if not (known a) then err (Unknown_task_ref (ctx, a));
+    if not (known b) then err (Unknown_task_ref (ctx, b));
+    if String.equal a b then err (Self_relation (ctx, a));
+    if pair_periods then
+      match Spec.find_task spec a, Spec.find_task spec b with
+      | Some ta, Some tb when ta.Task.period <> tb.Task.period ->
+        err (Period_mismatch (ctx, ta.Task.name, tb.Task.name))
+      | Some _, Some _ | None, _ | _, None -> ()
+  in
+  (* precedence pairs instances one-to-one, so periods must agree;
+     exclusion is a mutex and works across any periods *)
+  List.iter (check_pair ~pair_periods:true "precedence") spec.Spec.precedences;
+  List.iter (check_pair ~pair_periods:false "exclusion") spec.Spec.exclusions;
+  (match find_cycle tasks spec.Spec.precedences with
+  | Some cycle -> err (Precedence_cycle cycle)
+  | None -> ());
+  List.iter
+    (fun (a, b) ->
+      if Spec.precedes spec a b || Spec.precedes spec b a then
+        warn (Exclusion_with_precedence (a, b)))
+    spec.Spec.exclusions;
+  List.iter
+    (fun (m : Message.t) ->
+      let ctx = Printf.sprintf "message %s" m.Message.name in
+      if not (known m.Message.sender) then
+        err (Unknown_task_ref (ctx, m.Message.sender));
+      if not (known m.Message.receiver) then
+        err (Unknown_task_ref (ctx, m.Message.receiver));
+      if String.equal m.Message.sender m.Message.receiver then
+        err (Self_relation ("message", m.Message.sender));
+      if m.Message.comm_time < 0 || m.Message.grant_time < 0 then
+        err (Bad_message (m.Message.name, "negative communication time"));
+      match
+        Spec.find_task spec m.Message.sender, Spec.find_task spec m.Message.receiver
+      with
+      | Some ta, Some tb when ta.Task.period <> tb.Task.period ->
+        err (Period_mismatch (ctx, ta.Task.name, tb.Task.name))
+      | Some _, Some _ | None, _ | _, None -> ())
+    spec.Spec.messages;
+  if tasks <> [] && not (List.exists (fun (t : Task.t) -> t.Task.period <= 0) tasks)
+  then begin
+    let u = Spec.utilization spec in
+    if u > 1.0 +. 1e-9 then err (Overutilized u)
+  end;
+  { errors = List.rev !errors; warnings = List.rev !warnings }
+
+let is_valid spec = (check spec).errors = []
+
+let check_exn spec =
+  match (check spec).errors with
+  | [] -> ()
+  | errors ->
+    failwith
+      (Printf.sprintf "invalid specification %s: %s" spec.Spec.name
+         (String.concat "; " (List.map error_to_string errors)))

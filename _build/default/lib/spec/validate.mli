@@ -1,0 +1,40 @@
+(** Well-formedness of specifications, checked before translation.
+
+    Errors make the specification meaningless or certainly infeasible;
+    warnings flag suspicious but admissible modeling. *)
+
+type error =
+  | No_tasks
+  | Duplicate_task_id of string
+  | Duplicate_task_name of string
+  | Bad_timing of string * string
+      (** task name, violated constraint (e.g. ["c <= d"]) *)
+  | Unknown_processor of string * string  (** task name, processor id *)
+  | Multi_processor of string list
+      (** the paper's synthesis is mono-processor; the distinct
+          processor ids used by tasks *)
+  | Unknown_task_ref of string * string  (** context, missing task id *)
+  | Self_relation of string * string  (** relation kind, task id *)
+  | Precedence_cycle of string list  (** one cycle, in order *)
+  | Period_mismatch of string * string * string
+      (** context, task a, task b: instance-wise relations require
+          equal periods *)
+  | Overutilized of float
+  | Bad_message of string * string  (** message name, problem *)
+
+type warning =
+  | Exclusion_with_precedence of string * string
+      (** an excluded pair that is also ordered by precedence — the
+          exclusion is then redundant *)
+  | Zero_wcet_task of string
+
+val error_to_string : error -> string
+val warning_to_string : warning -> string
+
+type outcome = { errors : error list; warnings : warning list }
+
+val check : Spec.t -> outcome
+val is_valid : Spec.t -> bool
+
+val check_exn : Spec.t -> unit
+(** Raises [Failure] listing every error when the spec is invalid. *)

@@ -1,0 +1,1 @@
+lib/tpn/analysis.ml: Array Format Pnet State Time_interval Tlts

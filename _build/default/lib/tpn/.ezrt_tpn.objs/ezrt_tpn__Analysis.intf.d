@@ -1,0 +1,1 @@
+lib/tpn/analysis.mli: Format Pnet Tlts

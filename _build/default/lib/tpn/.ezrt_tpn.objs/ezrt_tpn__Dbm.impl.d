@@ -1,0 +1,1 @@
+lib/tpn/dbm.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/tpn/dbm.mli: Format

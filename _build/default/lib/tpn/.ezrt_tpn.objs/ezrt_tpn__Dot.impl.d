@@ -1,0 +1,1 @@
+lib/tpn/dot.ml: Array Buffer Pnet Printf String Time_interval

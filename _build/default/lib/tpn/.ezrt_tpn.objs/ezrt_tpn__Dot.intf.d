@@ -1,0 +1,1 @@
+lib/tpn/dot.mli: Pnet

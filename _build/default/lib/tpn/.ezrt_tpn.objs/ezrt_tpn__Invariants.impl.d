@@ -1,0 +1,1 @@
+lib/tpn/invariants.ml: Array List Pnet Printf

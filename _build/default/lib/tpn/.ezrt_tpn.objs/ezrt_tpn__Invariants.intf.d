@@ -1,0 +1,1 @@
+lib/tpn/invariants.mli: Pnet

@@ -1,0 +1,1 @@
+lib/tpn/pnet.ml: Array Format Hashtbl List Option Printf String Time_interval

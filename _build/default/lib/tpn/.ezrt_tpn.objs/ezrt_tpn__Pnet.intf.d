@@ -1,0 +1,1 @@
+lib/tpn/pnet.mli: Format Time_interval

@@ -1,0 +1,1 @@
+lib/tpn/query.ml: Array List Pnet Printf Queue State State_class String Tlts

@@ -1,0 +1,1 @@
+lib/tpn/query.mli: Pnet

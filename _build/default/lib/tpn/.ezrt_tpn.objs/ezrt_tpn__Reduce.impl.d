@@ -1,0 +1,1 @@
+lib/tpn/reduce.ml: Array Pnet

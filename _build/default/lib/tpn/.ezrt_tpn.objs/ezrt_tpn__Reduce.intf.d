@@ -1,0 +1,1 @@
+lib/tpn/reduce.mli: Pnet

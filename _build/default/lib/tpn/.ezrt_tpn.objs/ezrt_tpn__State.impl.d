@@ -1,0 +1,1 @@
+lib/tpn/state.ml: Array Format Hashtbl List Pnet Printf String Time_interval

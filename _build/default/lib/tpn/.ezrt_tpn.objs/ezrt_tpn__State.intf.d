@@ -1,0 +1,1 @@
+lib/tpn/state.mli: Format Hashtbl Pnet Time_interval

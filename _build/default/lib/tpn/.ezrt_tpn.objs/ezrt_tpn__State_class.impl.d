@@ -1,0 +1,1 @@
+lib/tpn/state_class.ml: Array Dbm Hashtbl List Pnet Printf Queue State Time_interval Tlts

@@ -1,0 +1,1 @@
+lib/tpn/state_class.mli: Dbm Hashtbl Pnet

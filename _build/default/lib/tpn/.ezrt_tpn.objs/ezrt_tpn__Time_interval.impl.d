@@ -1,0 +1,1 @@
+lib/tpn/time_interval.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/tpn/tina.ml: Array Buffer Hashtbl In_channel List Option Out_channel Pnet Printf String Time_interval

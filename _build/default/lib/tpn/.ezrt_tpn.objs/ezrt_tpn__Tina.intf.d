@@ -1,0 +1,1 @@
+lib/tpn/tina.mli: Pnet

@@ -1,0 +1,1 @@
+lib/tpn/tlts.ml: Array Buffer List Pnet Printf Queue State String Time_interval

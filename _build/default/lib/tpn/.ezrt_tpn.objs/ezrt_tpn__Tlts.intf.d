@@ -1,0 +1,1 @@
+lib/tpn/tlts.mli: Pnet State

@@ -1,0 +1,75 @@
+type report = {
+  reachable_states : int;
+  edges : int;
+  deadlocks : int;
+  truncated : bool;
+  place_bound : int;
+  per_place_bound : int array;
+}
+
+let reachability_report ?(mode = `Earliest) ?max_states (net : Pnet.t) =
+  let per_place_bound = Array.copy net.m0 in
+  let record (s : State.t) =
+    Array.iteri
+      (fun p n -> if n > per_place_bound.(p) then per_place_bound.(p) <- n)
+      s.State.marking
+  in
+  let stats = Tlts.explore ~mode ?max_states ~on_state:record net in
+  {
+    reachable_states = stats.Tlts.states;
+    edges = stats.Tlts.edges;
+    deadlocks = stats.Tlts.deadlocks;
+    truncated = stats.Tlts.truncated;
+    place_bound = Array.fold_left max 0 per_place_bound;
+    per_place_bound;
+  }
+
+let is_safe_place report p = report.per_place_bound.(p) <= 1
+
+type structure = {
+  places : int;
+  transitions : int;
+  arcs : int;
+  initial_tokens : int;
+  source_transitions : string list;
+  isolated_places : string list;
+  point_intervals : int;
+  zero_intervals : int;
+}
+
+let structure (net : Pnet.t) =
+  let transitions = Pnet.transition_count net in
+  let source_transitions = ref [] in
+  let point_intervals = ref 0 in
+  let zero_intervals = ref 0 in
+  for tid = transitions - 1 downto 0 do
+    if Array.length net.post.(tid) = 0 then
+      source_transitions := Pnet.transition_name net tid :: !source_transitions;
+    let itv = Pnet.interval net tid in
+    if Time_interval.is_point itv then begin
+      incr point_intervals;
+      if Time_interval.eft itv = 0 then incr zero_intervals
+    end
+  done;
+  let produced = Array.make (Pnet.place_count net) false in
+  Array.iter (Array.iter (fun (p, _) -> produced.(p) <- true)) net.post;
+  let isolated_places = ref [] in
+  for p = Pnet.place_count net - 1 downto 0 do
+    if (not produced.(p)) && Array.length net.consumers.(p) = 0 then
+      isolated_places := Pnet.place_name net p :: !isolated_places
+  done;
+  {
+    places = Pnet.place_count net;
+    transitions;
+    arcs = Pnet.arc_count net;
+    initial_tokens = Array.fold_left ( + ) 0 net.m0;
+    source_transitions = !source_transitions;
+    isolated_places = !isolated_places;
+    point_intervals = !point_intervals;
+    zero_intervals = !zero_intervals;
+  }
+
+let pp_structure fmt s =
+  Format.fprintf fmt
+    "|P|=%d |T|=%d |F|=%d m0-tokens=%d point-intervals=%d immediate=%d" s.places
+    s.transitions s.arcs s.initial_tokens s.point_intervals s.zero_intervals

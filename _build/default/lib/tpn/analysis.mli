@@ -1,0 +1,34 @@
+(** Structural and behavioural checks over TPNs. *)
+
+type report = {
+  reachable_states : int;
+  edges : int;
+  deadlocks : int;
+  truncated : bool;
+  place_bound : int;  (** max tokens observed in any place *)
+  per_place_bound : int array;
+}
+
+val reachability_report : ?mode:Tlts.mode -> ?max_states:int -> Pnet.t -> report
+(** Walk the state space (earliest-firing semantics by default) and
+    record per-place token bounds. *)
+
+val is_safe_place : report -> Pnet.place_id -> bool
+(** True when the place never held more than one token — the invariant
+    expected of the processor, bus and exclusion places. *)
+
+type structure = {
+  places : int;
+  transitions : int;
+  arcs : int;
+  initial_tokens : int;
+  source_transitions : string list;
+      (** transitions with no output arc (sinks of tokens) *)
+  isolated_places : string list;
+      (** places with neither producers nor consumers *)
+  point_intervals : int;  (** transitions with EFT = LFT *)
+  zero_intervals : int;  (** immediate transitions [0,0] *)
+}
+
+val structure : Pnet.t -> structure
+val pp_structure : Format.formatter -> structure -> unit

@@ -1,0 +1,121 @@
+type t = { size : int; m : int array array }
+(* size = dim + 1; index 0 is the reference variable *)
+
+let infinity = max_int / 4
+
+let sat_add a b = if a >= infinity || b >= infinity then infinity else a + b
+
+let create dim =
+  let size = dim + 1 in
+  let m = Array.make_matrix size size infinity in
+  for i = 0 to size - 1 do
+    m.(i).(i) <- 0
+  done;
+  { size; m }
+
+let dim t = t.size - 1
+let copy t = { size = t.size; m = Array.map Array.copy t.m }
+let get t i j = t.m.(i).(j)
+
+let constrain t i j b =
+  if b < t.m.(i).(j) then t.m.(i).(j) <- b
+
+let canonicalize t =
+  let n = t.size in
+  let m = t.m in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let mik = m.(i).(k) in
+      if mik < infinity then
+        for j = 0 to n - 1 do
+          let through = sat_add mik m.(k).(j) in
+          if through < m.(i).(j) then m.(i).(j) <- through
+        done
+    done
+  done
+
+let is_empty t =
+  let rec go i = i < t.size && (t.m.(i).(i) < 0 || go (i + 1)) in
+  go 0
+
+let is_canonical_nonempty t =
+  let c = copy t in
+  canonicalize c;
+  not (is_empty c)
+
+let equal a b =
+  a.size = b.size
+  &&
+  let rec row i =
+    i >= a.size
+    ||
+    let rec col j = j >= a.size || (a.m.(i).(j) = b.m.(i).(j) && col (j + 1)) in
+    col 0 && row (i + 1)
+  in
+  row 0
+
+let subset a b =
+  a.size = b.size
+  &&
+  let rec row i =
+    i >= a.size
+    ||
+    let rec col j =
+      j >= a.size || (a.m.(i).(j) <= b.m.(i).(j) && col (j + 1))
+    in
+    col 0 && row (i + 1)
+  in
+  row 0
+
+let hash t =
+  let h = ref 0x811c9dc5 in
+  Array.iter
+    (Array.iter (fun x ->
+         h := (!h lxor (x land 0xffff)) * 0x01000193 land max_int))
+    t.m;
+  !h
+
+(* Change of origin after firing variable f: the kept variables are
+   reinterpreted relative to x_f.  For i, j kept:
+   x'_i - x'_j = x_i - x_j        -> bound m.(i).(j)
+   x'_i - 0    = x_i - x_f        -> bound m.(i).(f)
+   0 - x'_i    = x_f - x_i        -> bound m.(f).(i) *)
+let rebase t f ~keep =
+  let k = List.length keep in
+  let fresh = create k in
+  List.iteri
+    (fun i' i ->
+      fresh.m.(i' + 1).(0) <- t.m.(i).(f);
+      fresh.m.(0).(i' + 1) <- t.m.(f).(i);
+      List.iteri
+        (fun j' j -> if i <> j then fresh.m.(i' + 1).(j' + 1) <- t.m.(i).(j))
+        keep)
+    keep;
+  fresh
+
+let add_fresh t bounds_list =
+  let extra = List.length bounds_list in
+  let fresh = create (dim t + extra) in
+  for i = 0 to t.size - 1 do
+    for j = 0 to t.size - 1 do
+      fresh.m.(i).(j) <- t.m.(i).(j)
+    done
+  done;
+  List.iteri
+    (fun idx (lo, hi) ->
+      let v = t.size + idx in
+      fresh.m.(v).(0) <- hi;
+      fresh.m.(0).(v) <- -lo)
+    bounds_list;
+  fresh
+
+let bounds t i = (-t.m.(0).(i), t.m.(i).(0))
+
+let pp fmt t =
+  for i = 0 to t.size - 1 do
+    for j = 0 to t.size - 1 do
+      if t.m.(i).(j) >= infinity then Format.fprintf fmt "  inf"
+      else Format.fprintf fmt "%5d" t.m.(i).(j)
+    done;
+    Format.fprintf fmt "@."
+  done

@@ -1,0 +1,65 @@
+(** Difference bound matrices over integer bounds.
+
+    A DBM over variables [x_1 .. x_k] (with the implicit reference
+    [x_0 = 0]) represents the conjunction of constraints
+    [x_i - x_j <= m.(i).(j)].  Bounds are integers or [infinity]; all
+    constraints are non-strict, which is exact for integer-interval
+    time Petri nets.
+
+    Used by {!State_class} to represent firing-delay domains. *)
+
+type t
+(** Mutable square matrix of size [dim + 1]. *)
+
+val infinity : int
+(** A large sentinel; arithmetic on it saturates. *)
+
+val create : int -> t
+(** [create dim] is the universe over [dim] variables ([x_i >= 0] is
+    NOT implied; callers add the bounds they mean). *)
+
+val dim : t -> int
+val copy : t -> t
+
+val get : t -> int -> int -> int
+(** [get m i j] is the bound on [x_i - x_j]; indices 0..dim. *)
+
+val constrain : t -> int -> int -> int -> unit
+(** [constrain m i j b] adds [x_i - x_j <= b] (tightening only). *)
+
+val canonicalize : t -> unit
+(** All-pairs shortest paths; after this, entries are the tightest
+    implied bounds and {!is_empty} is meaningful. *)
+
+val is_empty : t -> bool
+(** True when the constraint set is unsatisfiable (requires canonical
+    form). *)
+
+val is_canonical_nonempty : t -> bool
+(** Convenience: canonicalize a copy and test. *)
+
+val equal : t -> t -> bool
+(** Entry-wise equality — semantically meaningful on canonical forms. *)
+
+val subset : t -> t -> bool
+(** [subset a b]: every valuation of [a] satisfies [b] — entry-wise
+    [a <= b] on canonical forms of equal dimension. *)
+
+val hash : t -> int
+
+val rebase : t -> int -> keep:int list -> t
+(** [rebase m f ~keep] performs the state-class change of origin: the
+    new DBM is over the variables [keep] (given in the desired order),
+    each reinterpreted as [x_i - x_f], with the reference row/column
+    taken from [f]'s relations.  Requires canonical [m]. *)
+
+val add_fresh : t -> (int * int) list -> t
+(** [add_fresh m bounds] appends one new variable per [(lo, hi)] pair,
+    constrained to [lo <= x <= hi] ([hi = infinity] for unbounded) and
+    unrelated to the others. *)
+
+val bounds : t -> int -> int * int
+(** [bounds m i] is [(lo, hi)] for variable [i] in canonical form:
+    [-m.(0).(i), m.(i).(0)]. *)
+
+val pp : Format.formatter -> t -> unit

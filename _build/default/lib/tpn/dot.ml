@@ -1,0 +1,57 @@
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_dot ?(rankdir = "LR") (net : Pnet.t) =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph %s {\n" (quote net.net_name);
+  out "  rankdir=%s;\n" rankdir;
+  for p = 0 to Pnet.place_count net - 1 do
+    let tokens = net.m0.(p) in
+    let label =
+      if tokens = 0 then Pnet.place_name net p
+      else Printf.sprintf "%s\\n(%d)" (Pnet.place_name net p) tokens
+    in
+    out "  p%d [shape=circle, label=%s];\n" p (quote label)
+  done;
+  for tid = 0 to Pnet.transition_count net - 1 do
+    let itv = Pnet.interval net tid in
+    let prio = Pnet.priority net tid in
+    let label =
+      if prio = Pnet.default_priority then
+        Printf.sprintf "%s\\n%s" (Pnet.transition_name net tid)
+          (Time_interval.to_string itv)
+      else
+        Printf.sprintf "%s\\n%s\\npi=%d" (Pnet.transition_name net tid)
+          (Time_interval.to_string itv) prio
+    in
+    out "  t%d [shape=box, label=%s];\n" tid (quote label)
+  done;
+  let edge src dst w =
+    if w = 1 then out "  %s -> %s;\n" src dst
+    else out "  %s -> %s [label=%s];\n" src dst (quote (string_of_int w))
+  in
+  Array.iteri
+    (fun tid arcs ->
+      Array.iter
+        (fun (p, w) ->
+          edge (Printf.sprintf "p%d" p) (Printf.sprintf "t%d" tid) w)
+        arcs)
+    net.pre;
+  Array.iteri
+    (fun tid arcs ->
+      Array.iter
+        (fun (p, w) ->
+          edge (Printf.sprintf "t%d" tid) (Printf.sprintf "p%d" p) w)
+        arcs)
+    net.post;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Graphviz export of TPNs, for regenerating the paper's net figures
+    (Figs 1–4) from the constructed models. *)
+
+val to_dot : ?rankdir:string -> Pnet.t -> string
+(** Places as circles annotated with their initial tokens, transitions
+    as boxes labeled with name, static interval and (when not the
+    default) priority; arc weights greater than one are labeled. *)

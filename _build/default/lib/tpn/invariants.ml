@@ -1,0 +1,124 @@
+let incidence (net : Pnet.t) =
+  let n_places = Pnet.place_count net in
+  let n_trans = Pnet.transition_count net in
+  let c = Array.make_matrix n_places n_trans 0 in
+  Array.iteri
+    (fun t arcs -> Array.iter (fun (p, w) -> c.(p).(t) <- c.(p).(t) - w) arcs)
+    net.Pnet.pre;
+  Array.iteri
+    (fun t arcs -> Array.iter (fun (p, w) -> c.(p).(t) <- c.(p).(t) + w) arcs)
+    net.Pnet.post;
+  c
+
+let is_invariant net y =
+  let c = incidence net in
+  let n_places = Array.length c in
+  if Array.length y <> n_places then false
+  else begin
+    let n_trans = Pnet.transition_count net in
+    let rec column t =
+      t >= n_trans
+      ||
+      let sum = ref 0 in
+      for p = 0 to n_places - 1 do
+        sum := !sum + (y.(p) * c.(p).(t))
+      done;
+      !sum = 0 && column (t + 1)
+    in
+    column 0
+  end
+
+let weighted_tokens y marking =
+  let total = ref 0 in
+  Array.iteri (fun p w -> total := !total + (w * marking.(p))) y;
+  !total
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let normalize row =
+  let g = Array.fold_left (fun acc x -> gcd acc (abs x)) 0 row in
+  if g > 1 then Array.map (fun x -> x / g) row else row
+
+let support row =
+  let acc = ref [] in
+  Array.iteri (fun i x -> if x <> 0 then acc := i :: !acc) row;
+  !acc
+
+let support_subset a b =
+  (* support(a) included in support(b) *)
+  let ok = ref true in
+  Array.iteri (fun i x -> if x <> 0 && b.(i) = 0 then ok := false) a;
+  !ok
+
+(* Farkas algorithm: rows are (y, r) with y the candidate invariant and
+   r = y . C the residual; eliminate each transition column in turn by
+   nonnegative combinations of rows with opposite signs. *)
+let p_invariants ?(max_rows = 4096) (net : Pnet.t) =
+  let c = incidence net in
+  let n_places = Array.length c in
+  let n_trans = Pnet.transition_count net in
+  let rows =
+    ref
+      (List.init n_places (fun p ->
+           let y = Array.make n_places 0 in
+           y.(p) <- 1;
+           (y, Array.copy c.(p))))
+  in
+  for t = 0 to n_trans - 1 do
+    let zero, nonzero =
+      List.partition (fun (_, r) -> r.(t) = 0) !rows
+    in
+    let pos = List.filter (fun (_, r) -> r.(t) > 0) nonzero in
+    let neg = List.filter (fun (_, r) -> r.(t) < 0) nonzero in
+    let combos =
+      List.concat_map
+        (fun (y1, r1) ->
+          List.map
+            (fun (y2, r2) ->
+              let a = -r2.(t) and b = r1.(t) in
+              let y =
+                Array.init n_places (fun p -> (a * y1.(p)) + (b * y2.(p)))
+              in
+              let r =
+                Array.init n_trans (fun j -> (a * r1.(j)) + (b * r2.(j)))
+              in
+              let g =
+                Array.fold_left (fun acc x -> gcd acc (abs x))
+                  (Array.fold_left (fun acc x -> gcd acc (abs x)) 0 y)
+                  r
+              in
+              if g > 1 then
+                (Array.map (fun x -> x / g) y, Array.map (fun x -> x / g) r)
+              else (y, r))
+            neg)
+        pos
+    in
+    (* prune duplicates and non-minimal supports *)
+    let candidate = zero @ combos in
+    let minimal =
+      List.filter
+        (fun (y, _) ->
+          not
+            (List.exists
+               (fun (y', _) -> y' != y && y' <> y && support_subset y' y)
+               candidate))
+        candidate
+    in
+    let deduped =
+      List.sort_uniq (fun (a, _) (b, _) -> compare a b) minimal
+    in
+    if List.length deduped > max_rows then
+      failwith
+        (Printf.sprintf
+           "Invariants.p_invariants: row bound %d exceeded at column %d"
+           max_rows t);
+    rows := deduped
+  done;
+  List.map (fun (y, _) -> normalize y) !rows
+  |> List.filter (fun y -> support y <> [])
+  |> List.sort compare
+
+let invariant_covering _net place invariants =
+  List.find_opt (fun y -> y.(place) <> 0) invariants
+
+let conserved_constant (net : Pnet.t) y = weighted_tokens y net.Pnet.m0

@@ -1,0 +1,32 @@
+(** Place invariants (P-semiflows).
+
+    A P-invariant is a nonnegative integer weighting [y] of the places
+    with [y . C = 0] for the incidence matrix [C]: the weighted token
+    count [y . m] is constant over every reachable marking.  The
+    translation's resource places (processor, buses, exclusion slots)
+    are covered by invariants of constant 1 — a structural proof of
+    their mutual-exclusion role that needs no state-space search.
+
+    Computed with the Farkas algorithm restricted to minimal-support
+    invariants.  The algorithm is worst-case exponential; [max_rows]
+    aborts gracefully on pathological nets. *)
+
+val incidence : Pnet.t -> int array array
+(** [incidence net] is [C] with [C.(p).(t) = W(t,p) - W(p,t)]. *)
+
+val is_invariant : Pnet.t -> int array -> bool
+(** [y . C = 0], with [y] indexed by place id. *)
+
+val weighted_tokens : int array -> int array -> int
+(** [weighted_tokens y marking] is [y . marking]. *)
+
+val p_invariants : ?max_rows:int -> Pnet.t -> int array list
+(** Minimal-support nonnegative invariants with coprime weights
+    ([max_rows] defaults to 4096).  Raises [Failure] when the row bound
+    is exceeded. *)
+
+val invariant_covering : Pnet.t -> Pnet.place_id -> int array list -> int array option
+(** First invariant whose support contains the given place. *)
+
+val conserved_constant : Pnet.t -> int array -> int
+(** The invariant's constant, [y . m0]. *)

@@ -1,0 +1,132 @@
+type t = {
+  marking : int array;
+  clocks : int array;
+}
+
+let marking_enables (net : Pnet.t) marking tid =
+  Array.for_all (fun (p, w) -> marking.(p) >= w) net.pre.(tid)
+
+let initial (net : Pnet.t) =
+  let marking = Array.copy net.m0 in
+  let clocks =
+    Array.init (Pnet.transition_count net) (fun tid ->
+        if marking_enables net marking tid then 0 else -1)
+  in
+  { marking; clocks }
+
+let is_enabled s tid = s.clocks.(tid) >= 0
+
+let enabled_ids s =
+  let acc = ref [] in
+  for tid = Array.length s.clocks - 1 downto 0 do
+    if s.clocks.(tid) >= 0 then acc := tid :: !acc
+  done;
+  !acc
+
+let tokens s p = s.marking.(p)
+
+let check_enabled who s tid =
+  if not (is_enabled s tid) then
+    invalid_arg (Printf.sprintf "State.%s: transition %d is not enabled" who tid)
+
+let dlb net s tid =
+  check_enabled "dlb" s tid;
+  max 0 (Time_interval.eft (Pnet.interval net tid) - s.clocks.(tid))
+
+let dub net s tid =
+  check_enabled "dub" s tid;
+  Time_interval.bound_sub (Time_interval.lft (Pnet.interval net tid)) s.clocks.(tid)
+
+let min_dub net s =
+  let best = ref Time_interval.Infinity in
+  Array.iteri
+    (fun tid clock ->
+      if clock >= 0 then best := Time_interval.bound_min !best (dub net s tid))
+    s.clocks;
+  !best
+
+let candidates net s =
+  let limit = min_dub net s in
+  List.filter
+    (fun tid -> Time_interval.bound_le (Time_interval.Finite (dlb net s tid)) limit)
+    (enabled_ids s)
+
+let fireable net s =
+  match candidates net s with
+  | [] -> []
+  | cands ->
+    let best =
+      List.fold_left
+        (fun acc tid -> min acc (Pnet.priority net tid))
+        max_int cands
+    in
+    List.filter (fun tid -> Pnet.priority net tid = best) cands
+
+let firing_domain net s tid =
+  check_enabled "firing_domain" s tid;
+  (dlb net s tid, min_dub net s)
+
+let fire (net : Pnet.t) s tid q =
+  check_enabled "fire" s tid;
+  let lo, hi = firing_domain net s tid in
+  if q < lo || not (Time_interval.bound_le (Time_interval.Finite q) hi) then
+    invalid_arg
+      (Printf.sprintf "State.fire: time %d outside firing domain [%d, %s] of %s"
+         q lo (Time_interval.bound_to_string hi) (Pnet.transition_name net tid));
+  let marking = Array.copy s.marking in
+  Array.iter (fun (p, w) -> marking.(p) <- marking.(p) - w) net.pre.(tid);
+  Array.iter (fun (p, w) -> marking.(p) <- marking.(p) + w) net.post.(tid);
+  let clocks =
+    Array.init (Array.length s.clocks) (fun tk ->
+        if not (marking_enables net marking tk) then -1
+        else if tk = tid || s.clocks.(tk) < 0 then 0
+        else s.clocks.(tk) + q)
+  in
+  { marking; clocks }
+
+let equal a b =
+  let arr_equal xs ys =
+    Array.length xs = Array.length ys
+    &&
+    let rec go i = i >= Array.length xs || (xs.(i) = ys.(i) && go (i + 1)) in
+    go 0
+  in
+  arr_equal a.marking b.marking && arr_equal a.clocks b.clocks
+
+(* FNV-1a over every cell: the stdlib polymorphic hash only samples a
+   prefix, which collides badly on states differing deep in the
+   vectors. *)
+let hash s =
+  let h = ref 0x811c9dc5 in
+  let mix x =
+    h := (!h lxor (x land 0xff)) * 0x01000193 land max_int;
+    h := (!h lxor ((x asr 8) land 0xffff)) * 0x01000193 land max_int
+  in
+  Array.iter mix s.marking;
+  Array.iter mix s.clocks;
+  !h
+
+let pp net fmt s =
+  let marked = ref [] in
+  Array.iteri
+    (fun p n ->
+      if n > 0 then
+        marked := Printf.sprintf "%s:%d" (Pnet.place_name net p) n :: !marked)
+    s.marking;
+  let clocked = ref [] in
+  Array.iteri
+    (fun tid c ->
+      if c >= 0 then
+        clocked :=
+          Printf.sprintf "%s@%d" (Pnet.transition_name net tid) c :: !clocked)
+    s.clocks;
+  Format.fprintf fmt "{m: %s | c: %s}"
+    (String.concat ", " (List.rev !marked))
+    (String.concat ", " (List.rev !clocked))
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

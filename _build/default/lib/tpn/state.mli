@@ -1,0 +1,57 @@
+(** TLTS states and the firing rule of paper Def 3.1.
+
+    A state is a marking plus one clock per enabled transition.  The
+    dynamic firing bounds are
+    [DLB(t) = max(0, EFT(t) - c(t))] and [DUB(t) = LFT(t) - c(t)];
+    the fireable set [FT(s)] keeps the enabled transitions whose [DLB]
+    does not exceed the minimum [DUB] (no other transition is forced to
+    fire strictly earlier) and, among those, the ones of minimal
+    priority value.  The firing domain is
+    [FD_s(t) = [DLB(t), min DUB(tk)]]. *)
+
+type t = private {
+  marking : int array;
+  clocks : int array;  (** [clocks.(t) = -1] iff [t] is disabled. *)
+}
+
+val initial : Pnet.t -> t
+
+val is_enabled : t -> Pnet.transition_id -> bool
+val enabled_ids : t -> Pnet.transition_id list
+val marking_enables : Pnet.t -> int array -> Pnet.transition_id -> bool
+val tokens : t -> Pnet.place_id -> int
+
+val dlb : Pnet.t -> t -> Pnet.transition_id -> int
+(** Raises [Invalid_argument] if the transition is disabled. *)
+
+val dub : Pnet.t -> t -> Pnet.transition_id -> Time_interval.bound
+(** May be negative for an overdue transition that must fire now. *)
+
+val min_dub : Pnet.t -> t -> Time_interval.bound
+(** Over all enabled transitions; [Infinity] when none is enabled. *)
+
+val candidates : Pnet.t -> t -> Pnet.transition_id list
+(** Enabled transitions with [DLB <= min DUB], i.e. [FT(s)] before the
+    priority filter — the raw schedulability choice set. *)
+
+val fireable : Pnet.t -> t -> Pnet.transition_id list
+(** [FT(s)] of the paper: {!candidates} restricted to the minimal
+    priority value present among them. *)
+
+val firing_domain : Pnet.t -> t -> Pnet.transition_id -> int * Time_interval.bound
+(** [FD_s(t)]; raises [Invalid_argument] if disabled. *)
+
+val fire : Pnet.t -> t -> Pnet.transition_id -> int -> t
+(** [fire net s t q] fires [t] after [q] further time units (Def 3.1):
+    tokens move along the arcs and every transition enabled in the new
+    marking has clock 0 when newly enabled (or when it is [t] itself)
+    and its old clock advanced by [q] otherwise.  Raises
+    [Invalid_argument] when [t] is disabled or [q] lies outside the
+    firing domain. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Pnet.t -> Format.formatter -> t -> unit
+
+(** Hash tables keyed by states. *)
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,254 @@
+type t = {
+  marking : int array;
+  enabled : int array;
+  domain : Dbm.t;
+}
+
+let enabled_ids c = Array.to_list c.enabled
+
+let enabled_of_marking (net : Pnet.t) marking =
+  let acc = ref [] in
+  for tid = Pnet.transition_count net - 1 downto 0 do
+    if State.marking_enables net marking tid then acc := tid :: !acc
+  done;
+  Array.of_list !acc
+
+let static_bounds net tid =
+  let itv = Pnet.interval net tid in
+  let hi =
+    match Time_interval.lft itv with
+    | Time_interval.Finite l -> l
+    | Time_interval.Infinity -> Dbm.infinity
+  in
+  (Time_interval.eft itv, hi)
+
+let initial (net : Pnet.t) =
+  let marking = Array.copy net.Pnet.m0 in
+  let enabled = enabled_of_marking net marking in
+  let domain = Dbm.create (Array.length enabled) in
+  Array.iteri
+    (fun i tid ->
+      let lo, hi = static_bounds net tid in
+      Dbm.constrain domain (i + 1) 0 hi;
+      Dbm.constrain domain 0 (i + 1) (-lo))
+    enabled;
+  Dbm.canonicalize domain;
+  { marking; enabled; domain }
+
+let var_of c tid =
+  let n = Array.length c.enabled in
+  let rec go i =
+    if i >= n then None else if c.enabled.(i) = tid then Some (i + 1) else go (i + 1)
+  in
+  go 0
+
+(* Domain restricted to "tid fires first": θ_f <= θ_j for every other
+   enabled j. *)
+let fires_first_domain c f_var =
+  let d = Dbm.copy c.domain in
+  for j = 1 to Dbm.dim d do
+    if j <> f_var then Dbm.constrain d f_var j 0
+  done;
+  Dbm.canonicalize d;
+  d
+
+let time_firable c tid =
+  match var_of c tid with
+  | None -> false
+  | Some f_var -> not (Dbm.is_empty (fires_first_domain c f_var))
+
+let firable ?(priorities = true) net c =
+  let candidates = List.filter (time_firable c) (enabled_ids c) in
+  match candidates with
+  | [] -> []
+  | _ :: _ when not priorities -> candidates
+  | _ :: _ ->
+    let best =
+      List.fold_left (fun acc tid -> min acc (Pnet.priority net tid)) max_int
+        candidates
+    in
+    List.filter (fun tid -> Pnet.priority net tid = best) candidates
+
+let delay_bounds _net c tid =
+  match var_of c tid with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "State_class.delay_bounds: transition %d disabled" tid)
+  | Some v -> Dbm.bounds c.domain v
+
+let fire (net : Pnet.t) c tid =
+  let f_var =
+    match var_of c tid with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "State_class.fire: %s not enabled"
+           (Pnet.transition_name net tid))
+  in
+  let fired = fires_first_domain c f_var in
+  if Dbm.is_empty fired then
+    invalid_arg
+      (Printf.sprintf "State_class.fire: %s cannot fire first"
+         (Pnet.transition_name net tid));
+  let marking = Array.copy c.marking in
+  Array.iter (fun (p, w) -> marking.(p) <- marking.(p) - w) net.Pnet.pre.(tid);
+  Array.iter (fun (p, w) -> marking.(p) <- marking.(p) + w) net.Pnet.post.(tid);
+  let enabled' = enabled_of_marking net marking in
+  (* Def 3.1 persistence: enabled before and after, and not the fired
+     transition itself. *)
+  let persistent_var tid' =
+    if tid' = tid then None
+    else
+      match var_of c tid' with
+      | Some v when State.marking_enables net c.marking tid' -> Some v
+      | Some _ | None -> None
+  in
+  let k = Array.length enabled' in
+  let domain = Dbm.create k in
+  Array.iteri
+    (fun i tid_i ->
+      match persistent_var tid_i with
+      | Some vi ->
+        (* new variable is θ_i - θ_f *)
+        Dbm.constrain domain (i + 1) 0 (Dbm.get fired vi f_var);
+        Dbm.constrain domain 0 (i + 1) (Dbm.get fired f_var vi);
+        Array.iteri
+          (fun j tid_j ->
+            if i <> j then
+              match persistent_var tid_j with
+              | Some vj -> Dbm.constrain domain (i + 1) (j + 1) (Dbm.get fired vi vj)
+              | None -> ())
+          enabled'
+      | None ->
+        let lo, hi = static_bounds net tid_i in
+        Dbm.constrain domain (i + 1) 0 hi;
+        Dbm.constrain domain 0 (i + 1) (-lo))
+    enabled';
+  Dbm.canonicalize domain;
+  { marking; enabled = enabled'; domain }
+
+let equal a b =
+  a.marking = b.marking && a.enabled = b.enabled && Dbm.equal a.domain b.domain
+
+let hash c =
+  let h = ref (Dbm.hash c.domain) in
+  Array.iter (fun x -> h := ((!h * 31) + x) land max_int) c.marking;
+  !h
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+type stats = {
+  classes : int;
+  edges : int;
+  deadlocks : int;
+  truncated : bool;
+}
+
+let explore ?(max_classes = 100_000) ?(inclusion = false) net =
+  let seen = Table.create 1024 in
+  (* inclusion mode: domains seen per (marking, enabled) skeleton *)
+  let skeletons : (int list * int list, Dbm.t list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let queue = Queue.create () in
+  let edges = ref 0 in
+  let deadlocks = ref 0 in
+  let truncated = ref false in
+  let count () = if inclusion then Hashtbl.length skeletons else Table.length seen in
+  let subsumed c =
+    if not inclusion then Table.mem seen c
+    else begin
+      let key = (Array.to_list c.marking, Array.to_list c.enabled) in
+      match Hashtbl.find_opt skeletons key with
+      | None -> false
+      | Some domains -> List.exists (Dbm.subset c.domain) !domains
+    end
+  in
+  let remember c =
+    if inclusion then begin
+      let key = (Array.to_list c.marking, Array.to_list c.enabled) in
+      match Hashtbl.find_opt skeletons key with
+      | Some domains -> domains := c.domain :: !domains
+      | None -> Hashtbl.replace skeletons key (ref [ c.domain ])
+    end
+    else Table.replace seen c ()
+  in
+  let classes_stored = ref 0 in
+  let visit c =
+    if not (subsumed c) then begin
+      ignore (count ());
+      if !classes_stored >= max_classes then truncated := true
+      else begin
+        incr classes_stored;
+        remember c;
+        Queue.push c queue
+      end
+    end
+  in
+  visit (initial net);
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    match firable net c with
+    | [] -> if c.enabled = [||] then incr deadlocks
+    | firables ->
+      List.iter
+        (fun tid ->
+          incr edges;
+          visit (fire net c tid))
+        firables
+  done;
+  {
+    classes = !classes_stored;
+    edges = !edges;
+    deadlocks = !deadlocks;
+    truncated = !truncated;
+  }
+
+type marking_comparison = {
+  common : int;
+  classes_only : int;
+  discrete_only : int;
+}
+
+let compare_reachable_markings ?(max_states = 50_000) net =
+  let markings_of_classes = Hashtbl.create 256 in
+  let seen = Table.create 256 in
+  let queue = Queue.create () in
+  let visit c =
+    if (not (Table.mem seen c)) && Table.length seen < max_states then begin
+      Table.replace seen c ();
+      Hashtbl.replace markings_of_classes (Array.to_list c.marking) ();
+      Queue.push c queue
+    end
+  in
+  visit (initial net);
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    List.iter (fun tid -> visit (fire net c tid)) (firable net c)
+  done;
+  let markings_of_states = Hashtbl.create 256 in
+  let record (s : State.t) =
+    Hashtbl.replace markings_of_states (Array.to_list s.State.marking) ()
+  in
+  let (_ : Tlts.stats) = Tlts.explore ~max_states ~on_state:record net in
+  let common = ref 0 and classes_only = ref 0 and discrete_only = ref 0 in
+  Hashtbl.iter
+    (fun m () ->
+      if Hashtbl.mem markings_of_states m then incr common
+      else incr classes_only)
+    markings_of_classes;
+  Hashtbl.iter
+    (fun m () ->
+      if not (Hashtbl.mem markings_of_classes m) then incr discrete_only)
+    markings_of_states;
+  { common = !common; classes_only = !classes_only;
+    discrete_only = !discrete_only }
+
+let reachable_markings_agree ?max_states net =
+  let cmp = compare_reachable_markings ?max_states net in
+  cmp.classes_only = 0 && cmp.discrete_only = 0

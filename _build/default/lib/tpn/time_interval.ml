@@ -1,0 +1,54 @@
+type bound =
+  | Finite of int
+  | Infinity
+
+type t = { eft : int; lft : bound }
+
+let bound_le a b =
+  match a, b with
+  | _, Infinity -> true
+  | Infinity, Finite _ -> false
+  | Finite x, Finite y -> x <= y
+
+let bound_min a b = if bound_le a b then a else b
+
+let bound_add b q =
+  match b with Finite x -> Finite (x + q) | Infinity -> Infinity
+
+let bound_sub b q =
+  match b with Finite x -> Finite (x - q) | Infinity -> Infinity
+
+let make eft lft =
+  if eft < 0 then invalid_arg "Time_interval.make: negative EFT";
+  if lft < eft then invalid_arg "Time_interval.make: LFT < EFT";
+  { eft; lft = Finite lft }
+
+let make_unbounded eft =
+  if eft < 0 then invalid_arg "Time_interval.make_unbounded: negative EFT";
+  { eft; lft = Infinity }
+
+let point q = make q q
+let zero = point 0
+let eft t = t.eft
+let lft t = t.lft
+
+let is_point t =
+  match t.lft with Finite l -> l = t.eft | Infinity -> false
+
+let contains t q = q >= t.eft && bound_le (Finite q) t.lft
+
+let bound_to_string = function
+  | Finite x -> string_of_int x
+  | Infinity -> "inf"
+
+let to_string t = Printf.sprintf "[%d, %s]" t.eft (bound_to_string t.lft)
+
+let equal a b =
+  a.eft = b.eft
+  &&
+  match a.lft, b.lft with
+  | Finite x, Finite y -> x = y
+  | Infinity, Infinity -> true
+  | Finite _, Infinity | Infinity, Finite _ -> false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,152 @@
+type action = { tid : Pnet.transition_id; delay : int }
+
+type mode = [ `Earliest | `All_times ]
+
+let successors mode net s =
+  let fireable = State.fireable net s in
+  let with_times tid =
+    let lo, hi = State.firing_domain net s tid in
+    match mode with
+    | `Earliest -> [ (lo, tid) ]
+    | `All_times ->
+      (match hi with
+      | Time_interval.Finite hi ->
+        List.init (max 0 (hi - lo + 1)) (fun i -> (lo + i, tid))
+      | Time_interval.Infinity ->
+        invalid_arg "Tlts.successors: `All_times with an unbounded domain")
+  in
+  List.concat_map
+    (fun tid ->
+      List.map
+        (fun (q, tid) -> ({ tid; delay = q }, State.fire net s tid q))
+        (with_times tid))
+    fireable
+
+type stats = {
+  states : int;
+  edges : int;
+  deadlocks : int;
+  truncated : bool;
+}
+
+let explore ?(mode = `Earliest) ?(max_states = 100_000) ?on_state net =
+  let seen = State.Table.create 1024 in
+  let queue = Queue.create () in
+  let edges = ref 0 in
+  let deadlocks = ref 0 in
+  let truncated = ref false in
+  let visit s =
+    if not (State.Table.mem seen s) then begin
+      if State.Table.length seen >= max_states then truncated := true
+      else begin
+        State.Table.replace seen s ();
+        (match on_state with Some f -> f s | None -> ());
+        Queue.push s queue
+      end
+    end
+  in
+  visit (State.initial net);
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    match successors mode net s with
+    | [] -> if State.enabled_ids s = [] then incr deadlocks
+    | succs ->
+      List.iter
+        (fun (_, s') ->
+          incr edges;
+          visit s')
+        succs
+  done;
+  {
+    states = State.Table.length seen;
+    edges = !edges;
+    deadlocks = !deadlocks;
+    truncated = !truncated;
+  }
+
+type graph = {
+  nodes : State.t array;
+  transitions : (int * action * int) list;
+}
+
+let graph ?(mode = `Earliest) ?(max_states = 10_000) net =
+  let index = State.Table.create 256 in
+  let nodes = ref [] in
+  let count = ref 0 in
+  let edges = ref [] in
+  let queue = Queue.create () in
+  let id_of s =
+    match State.Table.find_opt index s with
+    | Some id -> Some id
+    | None ->
+      if !count >= max_states then None
+      else begin
+        let id = !count in
+        incr count;
+        State.Table.replace index s id;
+        nodes := s :: !nodes;
+        Queue.push (id, s) queue;
+        Some id
+      end
+  in
+  ignore (id_of (State.initial net));
+  while not (Queue.is_empty queue) do
+    let id, s = Queue.pop queue in
+    List.iter
+      (fun (action, s') ->
+        match id_of s' with
+        | Some id' -> edges := (id, action, id') :: !edges
+        | None -> ())
+      (successors mode net s)
+  done;
+  {
+    nodes = Array.of_list (List.rev !nodes);
+    transitions = List.rev !edges;
+  }
+
+let graph_to_dot net g =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph tlts {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+  Array.iteri
+    (fun id (s : State.t) ->
+      let marked = ref [] in
+      Array.iteri
+        (fun p n ->
+          if n > 0 then
+            marked :=
+              (if n = 1 then Pnet.place_name net p
+               else Printf.sprintf "%s:%d" (Pnet.place_name net p) n)
+              :: !marked)
+        s.State.marking;
+      out "  s%d [label=\"s%d\\n%s\"];\n" id id
+        (String.concat "\\n" (List.rev !marked)))
+    g.nodes;
+  List.iter
+    (fun (src, action, dst) ->
+      out "  s%d -> s%d [label=\"%s@%d\"];\n" src dst
+        (Pnet.transition_name net action.tid)
+        action.delay)
+    g.transitions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let run net pick n =
+  let rec go s steps acc =
+    if steps = 0 then List.rev acc
+    else
+      match State.fireable net s with
+      | [] -> List.rev acc
+      | fireable -> (
+        match pick s with
+        | None -> List.rev acc
+        | Some tid ->
+          if not (List.mem tid fireable) then
+            invalid_arg
+              (Printf.sprintf "Tlts.run: %s is not fireable"
+                 (Pnet.transition_name net tid));
+          let q = State.dlb net s tid in
+          let s' = State.fire net s tid q in
+          go s' (steps - 1) ({ tid; delay = q } :: acc))
+  in
+  go (State.initial net) n []

@@ -1,0 +1,55 @@
+(** Timed labeled transition system derived from a TPN (paper §3.1).
+
+    The TLTS of a net has actions [(t, q)] — transition [t] fired [q]
+    time units after the previous action.  Exhaustive enumeration of
+    every [q] in every firing domain explodes even on small nets, so
+    exploration offers two successor modes:
+
+    - [`Earliest] fires each fireable transition at its [DLB] (the
+      policy of the paper's scheduler and of pre-runtime scheduling in
+      general: work is started as early as allowed);
+    - [`All_times] additionally enumerates every integer [q] in the
+      firing domain, for small nets and for tests of the semantics. *)
+
+type action = { tid : Pnet.transition_id; delay : int }
+
+type mode = [ `Earliest | `All_times ]
+
+val successors : mode -> Pnet.t -> State.t -> (action * State.t) list
+(** Successors through the fireable set [FT(s)]. *)
+
+type stats = {
+  states : int;  (** distinct states reached (including the initial) *)
+  edges : int;
+  deadlocks : int;  (** states with no enabled transition *)
+  truncated : bool;  (** true when [max_states] stopped the walk *)
+}
+
+val explore :
+  ?mode:mode ->
+  ?max_states:int ->
+  ?on_state:(State.t -> unit) ->
+  Pnet.t ->
+  stats
+(** Breadth-first reachability from the initial state.
+    [max_states] defaults to 100_000. *)
+
+type graph = {
+  nodes : State.t array;  (** index 0 is the initial state *)
+  transitions : (int * action * int) list;  (** (source, action, target) *)
+}
+
+val graph : ?mode:mode -> ?max_states:int -> Pnet.t -> graph
+(** Materialized reachability graph ([max_states] defaults to 10_000 —
+    this is for small nets and debugging; use {!explore} for counting). *)
+
+val graph_to_dot : Pnet.t -> graph -> string
+(** Graphviz rendering of the reachability graph: nodes show the
+    marked places, edges the fired transition and its delay. *)
+
+val run : Pnet.t -> (State.t -> Pnet.transition_id option) -> int -> action list
+(** [run net pick n] executes up to [n] steps, letting [pick] choose
+    among the fireable transitions (earliest firing); stops early when
+    [pick] returns [None] or nothing is fireable.  Returns the actions
+    taken, in order.  Raises [Invalid_argument] if [pick] returns a
+    transition outside the fireable set. *)

@@ -1,0 +1,1 @@
+lib/xml/doc.ml: Buffer Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Char Doc List Printf String

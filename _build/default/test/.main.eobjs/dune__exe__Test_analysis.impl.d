@@ -1,0 +1,1 @@
+test/test_analysis.ml: Analysis Ezrt_blocks Ezrt_spec Ezrt_tpn List Pnet Test_util Time_interval

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Ezrt_baseline Ezrt_blocks Ezrt_sched Ezrt_spec List Result Test_util

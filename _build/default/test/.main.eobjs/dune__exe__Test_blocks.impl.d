@@ -1,0 +1,1 @@
+test/test_blocks.ml: Alcotest Array Ezrt_blocks Ezrt_tpn List Option Pnet State Test_util Time_interval

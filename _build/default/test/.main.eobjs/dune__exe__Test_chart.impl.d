@@ -1,0 +1,1 @@
+test/test_chart.ml: Alcotest Ezrt_blocks Ezrt_sched Ezrt_spec List String Test_util

@@ -1,0 +1,1 @@
+test/test_class_search.ml: Alcotest Ezrt_blocks Ezrt_sched Ezrt_spec List Result Test_util

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Ezrt_spec Filename Fun In_channel Lazy List Printf String Sys Test_util Unix

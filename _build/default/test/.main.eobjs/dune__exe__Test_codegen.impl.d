@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Ezrt_blocks Ezrt_codegen Ezrt_sched Ezrt_spec Filename In_channel List Out_channel Printf String Sys Test_util Unix

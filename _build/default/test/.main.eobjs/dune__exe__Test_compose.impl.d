@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Analysis Array Ezrt_blocks Ezrt_tpn Fun Pnet Test_util Time_interval Tlts

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Case_studies Ezrealtime Format List Schedule Search Spec String Target Task Test_util Validate

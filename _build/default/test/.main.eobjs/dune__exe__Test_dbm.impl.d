@@ -1,0 +1,1 @@
+test/test_dbm.ml: Dbm Ezrt_tpn QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_dot.ml: Dot Ezrt_tpn Pnet String Test_util Time_interval

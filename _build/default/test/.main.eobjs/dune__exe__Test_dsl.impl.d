@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Ezrt_spec Filename Fun List Option Sys Test_util

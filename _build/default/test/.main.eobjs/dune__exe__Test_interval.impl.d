@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Ezrt_tpn QCheck Test_util Time_interval

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Ezrt_blocks Ezrt_spec Ezrt_tpn Invariants List Pnet QCheck State Test_util

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Ezrt_blocks Ezrt_sched Ezrt_spec List Printf Result Test_util

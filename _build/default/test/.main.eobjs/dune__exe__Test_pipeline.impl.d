@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Case_studies Class_search Emit Ezrealtime List Printf Quality Schedule Search String Table Target Test_util Timeline Translate Validator Vm

@@ -1,0 +1,1 @@
+test/test_pnet.ml: Alcotest Array Ezrt_tpn Format Pnet Test_util Time_interval

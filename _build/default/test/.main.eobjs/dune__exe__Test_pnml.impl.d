@@ -1,0 +1,1 @@
+test/test_pnml.ml: Alcotest Array Ezrt_blocks Ezrt_pnml Ezrt_spec Ezrt_tpn Ezrt_xml Filename Fun List Option Pnet Sys Test_util Time_interval

@@ -1,0 +1,1 @@
+test/test_priority.ml: Alcotest Array Ezrt_blocks Ezrt_sched Ezrt_spec Ezrt_tpn Lazy List State String Test_util

@@ -1,0 +1,1 @@
+test/test_quality.ml: Alcotest Ezrt_blocks Ezrt_sched Ezrt_spec Format List String Test_util

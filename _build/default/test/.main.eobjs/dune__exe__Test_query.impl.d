@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Ezrt_blocks Ezrt_spec Ezrt_tpn List Pnet Query State String Test_util

@@ -1,0 +1,1 @@
+test/test_reduce.ml: Array Ezrt_blocks Ezrt_spec Ezrt_tpn List Pnet Reduce Test_util Time_interval Tlts

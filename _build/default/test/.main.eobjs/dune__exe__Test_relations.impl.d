@@ -1,0 +1,1 @@
+test/test_relations.ml: Alcotest Array Ezrt_blocks Ezrt_tpn Pnet State Test_util Time_interval

@@ -1,0 +1,1 @@
+test/test_rta.ml: Alcotest Ezrt_baseline Ezrt_spec Format Fun List Printf QCheck Result String Test_util

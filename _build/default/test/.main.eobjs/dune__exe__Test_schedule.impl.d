@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Ezrt_sched Ezrt_tpn State Test_util

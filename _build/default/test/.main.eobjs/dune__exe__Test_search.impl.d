@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Ezrt_blocks Ezrt_sched Ezrt_spec List Result Test_util

@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Ezrt_sched Ezrt_spec Format List Result String Test_util

@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Array Ezrt_tpn List Pnet QCheck State Test_util Time_interval

@@ -1,0 +1,1 @@
+test/test_state_class.ml: Alcotest Ezrt_blocks Ezrt_spec Ezrt_tpn List Pnet QCheck State_class Test_util Time_interval Tlts

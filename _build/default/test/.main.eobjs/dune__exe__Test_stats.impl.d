@@ -1,0 +1,1 @@
+test/test_stats.ml: Ezrt_spec Format List String Test_util

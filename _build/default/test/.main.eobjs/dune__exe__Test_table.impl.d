@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Ezrt_blocks Ezrt_sched Ezrt_spec Filename List String Test_util

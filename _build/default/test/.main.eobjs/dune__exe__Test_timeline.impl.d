@@ -1,0 +1,1 @@
+test/test_timeline.ml: Alcotest Array Ezrt_blocks Ezrt_sched Ezrt_spec Hashtbl List Option Test_util

@@ -1,0 +1,1 @@
+test/test_tina.ml: Alcotest Array Ezrt_blocks Ezrt_spec Ezrt_tpn Filename Fun List Pnet String Sys Test_util Time_interval Tina

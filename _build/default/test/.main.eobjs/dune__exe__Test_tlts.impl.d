@@ -1,0 +1,1 @@
+test/test_tlts.ml: Alcotest Array Ezrt_tpn List State String Test_util Tlts

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Array Ezrt_blocks Ezrt_spec Ezrt_tpn List Pnet Printf State String Test_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ezrt_spec Ezrt_tpn Format Fun List Pnet Printf QCheck QCheck_alcotest Time_interval

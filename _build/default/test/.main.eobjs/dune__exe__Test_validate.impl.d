@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Ezrt_spec List Test_util

@@ -1,0 +1,1 @@
+test/test_validator.ml: Alcotest Ezrt_blocks Ezrt_sched Ezrt_spec List Test_util

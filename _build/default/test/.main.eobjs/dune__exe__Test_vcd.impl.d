@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Ezrt_blocks Ezrt_sched Ezrt_spec Filename Fun In_channel List Printf String Sys Test_util

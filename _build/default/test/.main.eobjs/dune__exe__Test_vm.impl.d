@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Ezrt_blocks Ezrt_runtime Ezrt_sched Ezrt_spec List Test_util

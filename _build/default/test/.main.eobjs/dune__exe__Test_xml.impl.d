@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Char Ezrt_xml List Option QCheck String Test_util

@@ -1,0 +1,72 @@
+open Ezrt_tpn
+open Test_util
+
+let test_reachability_report () =
+  let net = sequential_net () in
+  let report = Analysis.reachability_report net in
+  check_int "states" 3 report.Analysis.reachable_states;
+  check_int "bound" 1 report.Analysis.place_bound;
+  check_bool "all places safe" true
+    (List.for_all
+       (fun p -> Analysis.is_safe_place report p)
+       [ 0; 1; 2 ])
+
+let test_unsafe_place_detected () =
+  let b = Pnet.Builder.create "accumulate" in
+  let src = Pnet.Builder.add_place b ~tokens:3 "src" in
+  let sink = Pnet.Builder.add_place b "sink" in
+  let t = Pnet.Builder.add_transition b "t" (Time_interval.point 1) in
+  Pnet.Builder.arc_pt b src t;
+  Pnet.Builder.arc_tp b t sink;
+  let net = Pnet.Builder.build b in
+  let report = Analysis.reachability_report net in
+  check_bool "source not safe" false (Analysis.is_safe_place report src);
+  check_bool "sink not safe" false (Analysis.is_safe_place report sink);
+  check_int "bound is 3" 3 report.Analysis.place_bound
+
+let test_structure () =
+  let net = sequential_net () in
+  let st = Analysis.structure net in
+  check_int "places" 3 st.Analysis.places;
+  check_int "transitions" 2 st.Analysis.transitions;
+  check_int "arcs" 4 st.Analysis.arcs;
+  check_int "initial tokens" 1 st.Analysis.initial_tokens;
+  check_int "point intervals" 1 st.Analysis.point_intervals;
+  check_int "immediate" 1 st.Analysis.zero_intervals;
+  check_bool "no sources" true (st.Analysis.source_transitions = []);
+  check_bool "no isolated places" true (st.Analysis.isolated_places = [])
+
+let test_structure_finds_oddities () =
+  let b = Pnet.Builder.create "odd" in
+  let p = Pnet.Builder.add_place b ~tokens:1 "p" in
+  let _iso = Pnet.Builder.add_place b "island" in
+  let t = Pnet.Builder.add_transition b "sink_t" Time_interval.zero in
+  Pnet.Builder.arc_pt b p t;
+  let net = Pnet.Builder.build b in
+  let st = Analysis.structure net in
+  check_bool "sink transition found" true
+    (st.Analysis.source_transitions = [ "sink_t" ]);
+  check_bool "isolated place found" true
+    (st.Analysis.isolated_places = [ "island" ])
+
+let test_mine_pump_resources_safe () =
+  (* The processor place must be 1-safe in every reachable state of a
+     small translated model. *)
+  let model = Ezrt_blocks.Translate.translate Ezrt_spec.Case_studies.fig3_precedence in
+  let report =
+    Analysis.reachability_report ~max_states:20_000 model.Ezrt_blocks.Translate.net
+  in
+  check_bool "explored fully" false report.Analysis.truncated;
+  List.iter
+    (fun p ->
+      check_bool "resource place safe" true (Analysis.is_safe_place report p))
+    model.Ezrt_blocks.Translate.resource_places
+
+let suite =
+  [
+    case "reachability report" test_reachability_report;
+    case "unsafe places detected" test_unsafe_place_detected;
+    case "structure summary" test_structure;
+    case "structure finds oddities" test_structure_finds_oddities;
+    case "translated resources are safe" test_mine_pump_resources_safe;
+  ]

@@ -1,0 +1,159 @@
+module Sim = Ezrt_baseline.Sim
+module Compare = Ezrt_baseline.Compare
+module Translate = Ezrt_blocks.Translate
+module Validator = Ezrt_sched.Validator
+module Timeline = Ezrt_sched.Timeline
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let test_policies_schedule_easy_sets () =
+  List.iter
+    (fun (pname, policy) ->
+      List.iter
+        (fun (sname, spec) ->
+          if sname <> "greedy-trap" && sname <> "mine-pump" then begin
+            let result = Sim.simulate policy spec in
+            check_bool (pname ^ " schedules " ^ sname) true result.Sim.feasible;
+            (* a feasible runtime simulation must satisfy the full
+               specification, word for word *)
+            let model = Translate.translate spec in
+            match Validator.check model result.Sim.segments with
+            | Ok () -> ()
+            | Error vs ->
+              Alcotest.failf "%s/%s: %s" pname sname
+                (Validator.violation_to_string (List.hd vs))
+          end)
+        Case_studies.all)
+    Sim.all_policies
+
+(* The classic non-preemptive EDF anomaly shows up on the paper's own
+   case study: at t=75 EDF greedily starts the 25-unit CH4H, so PMC#1
+   (arrival 80, deadline 100) can no longer start by 90 — while the
+   pre-runtime DFS schedules the same task set (test_search).  This is
+   precisely the motivation for pre-runtime synthesis. *)
+let test_mine_pump_edf () =
+  let result = Sim.simulate Sim.Edf Case_studies.mine_pump in
+  check_bool "np-EDF misses on the mine pump" false result.Sim.feasible;
+  match result.Sim.first_miss with
+  | Some miss ->
+    check_int "the victim is PMC" 0 miss.Sim.task;
+    check_bool "early in the hyper-period" true (miss.Sim.time < 200)
+  | None -> Alcotest.fail "expected a recorded miss"
+
+let test_greedy_trap_all_fail () =
+  List.iter
+    (fun (pname, policy) ->
+      let result = Sim.simulate policy Case_studies.greedy_trap in
+      check_bool (pname ^ " misses") false result.Sim.feasible;
+      match result.Sim.first_miss with
+      | Some miss ->
+        check_int (pname ^ " urgent task misses") 1 miss.Sim.task
+      | None -> Alcotest.fail "expected a recorded miss")
+    Sim.all_policies
+
+let test_preemption_counted () =
+  let result = Sim.simulate Sim.Edf Case_studies.fig8_preemptive in
+  check_bool "feasible" true result.Sim.feasible;
+  check_bool "preemptions occur" true (result.Sim.preemptions > 0)
+
+let test_np_job_runs_to_completion () =
+  (* a long np job must not be preempted even when a shorter-deadline
+     job arrives mid-flight *)
+  let spec =
+    Spec.make ~name:"np-block"
+      ~tasks:
+        [
+          Task.make ~name:"long" ~wcet:4 ~deadline:20 ~period:20 ();
+          Task.make ~name:"short" ~phase:1 ~wcet:1 ~deadline:10 ~period:20 ();
+        ]
+      ()
+  in
+  let result = Sim.simulate Sim.Edf spec in
+  check_bool "feasible" true result.Sim.feasible;
+  let long_segments =
+    List.filter (fun (s : Timeline.segment) -> s.Timeline.task = 0)
+      result.Sim.segments
+  in
+  check_int "np job in one piece" 1 (List.length long_segments)
+
+let test_exclusion_respected () =
+  let result = Sim.simulate Sim.Edf Case_studies.fig4_exclusion in
+  check_bool "feasible" true result.Sim.feasible;
+  let model = Translate.translate Case_studies.fig4_exclusion in
+  check_bool "no interleaving" true
+    (Result.is_ok (Validator.check model result.Sim.segments))
+
+let test_invalid_spec_rejected () =
+  match Sim.simulate Sim.Edf (Spec.make ~name:"e" ~tasks:[] ()) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_compare_rows () =
+  let rows = Compare.run_all Case_studies.quickstart in
+  check_int "four approaches" 4 (List.length rows);
+  check_bool "all feasible" true (List.for_all (fun r -> r.Compare.feasible) rows);
+  let trap = Compare.run_all Case_studies.greedy_trap in
+  let feasible_names =
+    List.filter_map
+      (fun r -> if r.Compare.feasible then Some r.Compare.approach else None)
+      trap
+  in
+  check_bool "only the pre-runtime approach survives the trap" true
+    (feasible_names = [ "pre-runtime (dfs)" ])
+
+(* Agreement property: whenever a runtime policy schedules a generated
+   spec, the pre-runtime search must too (it subsumes priority-driven
+   schedules). *)
+let prop_dfs_subsumes_runtime =
+  qcheck ~count:40 "DFS subsumes feasible runtime schedules" arbitrary_spec
+    (fun spec ->
+      let edf = Sim.simulate Sim.Edf spec in
+      if not edf.Sim.feasible then true
+      else
+        let model = Translate.translate spec in
+        match Ezrt_sched.Search.find_schedule model with
+        | Ok _, _ -> true
+        | Error _, _ -> false)
+
+let test_fault_cascades_in_runtime_scheduling () =
+  let spec =
+    Spec.make ~name:"overrun-pair"
+      ~tasks:
+        [
+          Task.make ~name:"blocker" ~wcet:2 ~deadline:20 ~period:20 ();
+          Task.make ~name:"victim" ~phase:1 ~wcet:3 ~deadline:6 ~period:20 ();
+        ]
+      ()
+  in
+  (* fault-free: feasible *)
+  check_bool "feasible without fault" true
+    (Sim.simulate Sim.Edf spec).Sim.feasible;
+  (* small overrun absorbed by slack *)
+  let small = [ { Sim.f_task = 0; f_instance = 0; f_extra = 1 } ] in
+  check_bool "small fault absorbed" true
+    (Sim.simulate ~faults:small Sim.Edf spec).Sim.feasible;
+  (* larger overrun of the np blocker cascades onto the healthy victim *)
+  let big = [ { Sim.f_task = 0; f_instance = 0; f_extra = 4 } ] in
+  let result = Sim.simulate ~faults:big Sim.Edf spec in
+  check_bool "cascades" false result.Sim.feasible;
+  match result.Sim.first_miss with
+  | Some miss -> check_int "the victim misses, not the faulty task" 1 miss.Sim.task
+  | None -> Alcotest.fail "expected a miss"
+
+let suite =
+  [
+    case "WCET overruns cascade under runtime scheduling"
+      test_fault_cascades_in_runtime_scheduling;
+    case "policies schedule the easy case studies"
+      test_policies_schedule_easy_sets;
+    slow_case "EDF schedules the mine pump" test_mine_pump_edf;
+    case "greedy trap defeats every policy" test_greedy_trap_all_fail;
+    case "preemptions counted" test_preemption_counted;
+    case "np jobs run to completion" test_np_job_runs_to_completion;
+    case "exclusion respected" test_exclusion_respected;
+    case "invalid specs rejected" test_invalid_spec_rejected;
+    case "comparison rows" test_compare_rows;
+    prop_dfs_subsumes_runtime;
+  ]

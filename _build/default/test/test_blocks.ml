@@ -1,0 +1,240 @@
+open Ezrt_tpn
+module Blocks = Ezrt_blocks.Blocks
+module Relations = Ezrt_blocks.Relations
+open Test_util
+
+let fresh () = Pnet.Builder.create "blocks"
+
+let test_processor_block () =
+  let b = fresh () in
+  let pproc = Blocks.processor_block b "pproc" in
+  let p2 = Pnet.Builder.add_place b "sink" in
+  let t = Pnet.Builder.add_transition b "t" Time_interval.zero in
+  Pnet.Builder.arc_pt b pproc t;
+  Pnet.Builder.arc_tp b t p2;
+  let net = Pnet.Builder.build b in
+  check_int "one initial token" 1 net.Pnet.m0.(pproc)
+
+let test_fork_block () =
+  let b = fresh () in
+  let s1 = Pnet.Builder.add_place b "s1" in
+  let s2 = Pnet.Builder.add_place b "s2" in
+  let pstart, tstart = Blocks.fork_block b ~starts:[ s1; s2 ] in
+  let net = Pnet.Builder.build b in
+  check_int "pstart marked" 1 net.Pnet.m0.(pstart);
+  check_bool "immediate" true
+    (Time_interval.equal (Pnet.interval net tstart) Time_interval.zero);
+  check_int "two outputs" 2 (Array.length net.Pnet.post.(tstart));
+  (* firing the fork starts every task *)
+  let s = State.fire net (State.initial net) tstart 0 in
+  check_int "s1 marked" 1 (State.tokens s s1);
+  check_int "s2 marked" 1 (State.tokens s s2)
+
+let test_join_block () =
+  let b = fresh () in
+  let e1 = Pnet.Builder.add_place b ~tokens:2 "e1" in
+  let e2 = Pnet.Builder.add_place b ~tokens:3 "e2" in
+  let pend, tend = Blocks.join_block b ~sources:[ (e1, 2); (e2, 3) ] in
+  let net = Pnet.Builder.build b in
+  let s0 = State.initial net in
+  check_bool "enabled when all instances done" true (State.is_enabled s0 tend);
+  let s1 = State.fire net s0 tend 0 in
+  check_int "final marking reached" 1 (State.tokens s1 pend);
+  check_int "e1 drained" 0 (State.tokens s1 e1)
+
+let test_arrival_block_multi () =
+  let b = fresh () in
+  let start = Pnet.Builder.add_place b ~tokens:1 "start" in
+  let release = Pnet.Builder.add_place b "release" in
+  let watch = Pnet.Builder.add_place b "watch" in
+  let arr =
+    Blocks.arrival_block b ~task:"T" ~phase:2 ~period:10 ~instances:3 ~start
+      ~release ~watch
+  in
+  let net = Pnet.Builder.build b in
+  let ta = Option.get arr.Blocks.ta in
+  let pwa = Option.get arr.Blocks.pwa in
+  (* first arrival at the phase *)
+  let s1 = State.fire net (State.initial net) arr.Blocks.tph 2 in
+  check_int "release armed" 1 (State.tokens s1 release);
+  check_int "watch armed" 1 (State.tokens s1 watch);
+  check_int "two banked arrivals" 2 (State.tokens s1 pwa);
+  (* second arrival exactly one period later *)
+  check_int "ta DLB is the period" 10 (State.dlb net s1 ta);
+  let s2 = State.fire net s1 ta 10 in
+  check_int "release again" 2 (State.tokens s2 release);
+  check_int "one banked left" 1 (State.tokens s2 pwa);
+  (* the recycled ta clock restarts: next arrival one period later *)
+  check_int "ta clock reset" 10 (State.dlb net s2 ta)
+
+let test_arrival_block_single_instance () =
+  let b = fresh () in
+  let start = Pnet.Builder.add_place b ~tokens:1 "start" in
+  let release = Pnet.Builder.add_place b "release" in
+  let watch = Pnet.Builder.add_place b "watch" in
+  let arr =
+    Blocks.arrival_block b ~task:"T" ~phase:0 ~period:10 ~instances:1 ~start
+      ~release ~watch
+  in
+  check_bool "no arrival pool" true (arr.Blocks.pwa = None);
+  check_bool "no ta" true (arr.Blocks.ta = None)
+
+let test_arrival_rejects_zero_instances () =
+  let b = fresh () in
+  let start = Pnet.Builder.add_place b ~tokens:1 "start" in
+  Alcotest.check_raises "instances < 1"
+    (Invalid_argument "arrival_block: instances < 1") (fun () ->
+      ignore
+        (Blocks.arrival_block b ~task:"T" ~phase:0 ~period:10 ~instances:0
+           ~start ~release:start ~watch:start))
+
+let test_deadline_block_miss_and_ok () =
+  let b = fresh () in
+  let finished = Pnet.Builder.add_place b "finished" in
+  let watch_feeder = Pnet.Builder.add_place b ~tokens:1 "feeder" in
+  let dl = Blocks.deadline_block b ~task:"T" ~deadline:5 ~finished in
+  let arm = Pnet.Builder.add_transition b "arm" Time_interval.zero in
+  Pnet.Builder.arc_pt b watch_feeder arm;
+  Pnet.Builder.arc_tp b arm dl.Blocks.pwd;
+  let net = Pnet.Builder.build b in
+  let s = State.fire net (State.initial net) arm 0 in
+  (* without a finish token, td is forced at exactly d *)
+  check_int "td DLB" 5 (State.dlb net s dl.Blocks.td);
+  check_bool "tpc disabled" false (State.is_enabled s dl.Blocks.tpc);
+  let missed = State.fire net s dl.Blocks.td 5 in
+  check_int "deadline-missed marked" 1 (State.tokens missed dl.Blocks.pdm)
+
+let test_deadline_ok_outranks_miss () =
+  let b = fresh () in
+  let finished = Pnet.Builder.add_place b ~tokens:1 "finished" in
+  let watch_feeder = Pnet.Builder.add_place b ~tokens:1 "feeder" in
+  let dl = Blocks.deadline_block b ~task:"T" ~deadline:0 ~finished in
+  let arm = Pnet.Builder.add_transition b "arm" Time_interval.zero in
+  Pnet.Builder.arc_pt b watch_feeder arm;
+  Pnet.Builder.arc_tp b arm dl.Blocks.pwd;
+  let net = Pnet.Builder.build b in
+  let s = State.fire net (State.initial net) arm 0 in
+  (* both td (deadline 0) and tpc are candidates; tpc's priority wins *)
+  check_bool "only tpc fireable" true (State.fireable net s = [ dl.Blocks.tpc ]);
+  let s' = State.fire net s dl.Blocks.tpc 0 in
+  check_int "instance accounted" 1 (State.tokens s' dl.Blocks.pe);
+  check_bool "td disarmed" false (State.is_enabled s' dl.Blocks.td)
+
+let np_fixture exclusions =
+  let b = fresh () in
+  let pproc = Blocks.processor_block b "pproc" in
+  let excl = List.map (fun n -> Relations.exclusion_place b ~name:n) exclusions in
+  let st =
+    Blocks.non_preemptive_structure b ~task:"T" ~release:1 ~wcet:3 ~deadline:10
+      ~processor:pproc ~exclusions:excl
+  in
+  (b, pproc, excl, st)
+
+let suite_np_structure () =
+  let b, pproc, _, st = np_fixture [] in
+  Pnet.Builder.add_tokens b st.Blocks.pwr 1;
+  let net = Pnet.Builder.build b in
+  let s0 = State.initial net in
+  (* release = 1: the wait stage anchors the offset at the arrival *)
+  let tw = Option.get st.Blocks.tw in
+  check_bool "wait is the point [r, r]" true
+    (Time_interval.equal (Pnet.interval net tw) (Time_interval.point 1));
+  check_bool "gated release carries the rest of the window" true
+    (Time_interval.equal (Pnet.interval net st.Blocks.tr)
+       (Time_interval.make 0 6));
+  let s0 = State.fire net s0 tw 1 in
+  check_int "release window lower" 0 (State.dlb net s0 st.Blocks.tr);
+  check_bool "release window upper = d - c - r" true
+    (State.dub net s0 st.Blocks.tr = Time_interval.Finite 6);
+  let s1 = State.fire net s0 st.Blocks.tr 0 in
+  check_bool "grab is immediate and fireable" true
+    (List.mem st.Blocks.tg (State.fireable net s1));
+  let s2 = State.fire net s1 st.Blocks.tg 0 in
+  check_int "processor taken" 0 (State.tokens s2 pproc);
+  check_int "computation takes exactly c" 3 (State.dlb net s2 st.Blocks.tc);
+  let s3 = State.fire net s2 st.Blocks.tc 3 in
+  let s4 = State.fire net s3 st.Blocks.tf 0 in
+  check_int "processor returned" 1 (State.tokens s4 pproc);
+  check_int "finished" 1 (State.tokens s4 st.Blocks.pf)
+
+let test_np_wcet_rejected () =
+  let b, pproc, _, _ = np_fixture [] in
+  ignore pproc;
+  Alcotest.check_raises "wcet < 1"
+    (Invalid_argument "non_preemptive_structure: wcet < 1") (fun () ->
+      ignore
+        (Blocks.non_preemptive_structure b ~task:"Z" ~release:0 ~wcet:0
+           ~deadline:5 ~processor:0 ~exclusions:[]))
+
+let test_np_exclusion_wiring () =
+  let b, _, excl, st = np_fixture [ "ab" ] in
+  Pnet.Builder.add_tokens b st.Blocks.pwr 1;
+  let net = Pnet.Builder.build b in
+  let slot = List.hd excl in
+  let s0 = State.fire net (State.initial net) (Option.get st.Blocks.tw) 1 in
+  let s1 = State.fire net s0 st.Blocks.tr 0 in
+  let s2 = State.fire net s1 st.Blocks.tg 0 in
+  check_int "exclusion slot taken at grab" 0 (State.tokens s2 slot);
+  let s3 = State.fire net s2 st.Blocks.tc 3 in
+  let s4 = State.fire net s3 st.Blocks.tf 0 in
+  check_int "slot returned at finish" 1 (State.tokens s4 slot)
+
+let pre_fixture exclusions =
+  let b = fresh () in
+  let pproc = Blocks.processor_block b "pproc" in
+  let excl = List.map (fun n -> Relations.exclusion_place b ~name:n) exclusions in
+  let st =
+    Blocks.preemptive_structure b ~task:"T" ~release:0 ~wcet:2 ~deadline:10
+      ~processor:pproc ~exclusions:excl
+  in
+  Pnet.Builder.add_tokens b st.Blocks.pwr 1;
+  (Pnet.Builder.build b, pproc, excl, st)
+
+let test_preemptive_unit_loop () =
+  let net, pproc, _, st = pre_fixture [] in
+  check_bool "no exclusion stage" true (st.Blocks.te = None);
+  let s1 = State.fire net (State.initial net) st.Blocks.tr 0 in
+  (* two unit tokens pending *)
+  let s2 = State.fire net s1 st.Blocks.tg 0 in
+  check_int "proc taken for the unit" 0 (State.tokens s2 pproc);
+  let s3 = State.fire net s2 st.Blocks.tc 1 in
+  check_int "proc released between units" 1 (State.tokens s3 pproc);
+  check_bool "tf not yet enabled" false (State.is_enabled s3 st.Blocks.tf);
+  let s4 = State.fire net s3 st.Blocks.tg 0 in
+  let s5 = State.fire net s4 st.Blocks.tc 1 in
+  check_bool "tf enabled after c units" true (State.is_enabled s5 st.Blocks.tf);
+  let s6 = State.fire net s5 st.Blocks.tf 0 in
+  check_int "finished" 1 (State.tokens s6 st.Blocks.pf)
+
+let test_preemptive_exclusion_stage () =
+  let net, _, excl, st = pre_fixture [ "xy" ] in
+  let te = Option.get st.Blocks.te in
+  let slot = List.hd excl in
+  let s1 = State.fire net (State.initial net) st.Blocks.tr 0 in
+  check_bool "units not pending before te" false (State.is_enabled s1 st.Blocks.tg);
+  let s2 = State.fire net s1 te 0 in
+  check_int "slot held for the whole instance" 0 (State.tokens s2 slot);
+  let s3 = State.fire net s2 st.Blocks.tg 0 in
+  let s4 = State.fire net s3 st.Blocks.tc 1 in
+  check_int "slot still held between units" 0 (State.tokens s4 slot);
+  let s5 = State.fire net s4 st.Blocks.tg 0 in
+  let s6 = State.fire net s5 st.Blocks.tc 1 in
+  let s7 = State.fire net s6 st.Blocks.tf 0 in
+  check_int "slot returned at finish" 1 (State.tokens s7 slot)
+
+let suite =
+  [
+    case "processor block" test_processor_block;
+    case "fork block" test_fork_block;
+    case "join block" test_join_block;
+    case "arrival block (multiple instances)" test_arrival_block_multi;
+    case "arrival block (single instance)" test_arrival_block_single_instance;
+    case "arrival rejects zero instances" test_arrival_rejects_zero_instances;
+    case "deadline block catches misses" test_deadline_block_miss_and_ok;
+    case "deadline-ok outranks the miss" test_deadline_ok_outranks_miss;
+    case "non-preemptive structure" suite_np_structure;
+    case "wcet >= 1 enforced" test_np_wcet_rejected;
+    case "np exclusion wiring" test_np_exclusion_wiring;
+    case "preemptive unit loop" test_preemptive_unit_loop;
+    case "preemptive exclusion stage" test_preemptive_exclusion_stage;
+  ]

@@ -1,0 +1,83 @@
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Timeline = Ezrt_sched.Timeline
+module Chart = Ezrt_sched.Chart
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let timeline_of spec =
+  let model = Translate.translate spec in
+  match Search.find_schedule model with
+  | Ok schedule, _ -> (model, Timeline.of_schedule model schedule)
+  | Error f, _ -> Alcotest.failf "infeasible: %s" (Search.failure_to_string f)
+
+let rows s = List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+
+let test_row_per_task () =
+  let model, segs = timeline_of Case_studies.quickstart in
+  let chart = Chart.render model segs in
+  check_int "three rows" 3 (List.length (rows chart));
+  List.iter
+    (fun row ->
+      check_bool "bracketed" true
+        (String.contains row '|' && row.[String.length row - 1] = '|'))
+    (rows chart)
+
+let test_unscaled_columns_exact () =
+  let model, segs = timeline_of Case_studies.quickstart in
+  (* horizon 20 < width: one column per time unit.
+     sample runs [0,2), filter [2,6), actuate [6,9). *)
+  let chart = Chart.render ~width:72 model segs in
+  match rows chart with
+  | [ sample; filter; actuate ] ->
+    let body row =
+      let start = String.index row '|' + 1 in
+      let stop = String.rindex row '|' in
+      String.sub row start (stop - start)
+    in
+    check_string "sample row" "##                  " (body sample);
+    check_string "filter row" "  ####              " (body filter);
+    check_string "actuate row" "      ###           " (body actuate)
+  | _ -> Alcotest.fail "expected three rows"
+
+let test_preemption_gap_dots () =
+  let model, segs = timeline_of Case_studies.fig8_preemptive in
+  let chart = Chart.render model segs in
+  check_bool "gaps shown" true (String.contains chart '.')
+
+let test_scaling_bounds_width () =
+  let model, segs = timeline_of Case_studies.mine_pump in
+  let chart = Chart.render ~width:60 model segs in
+  List.iter
+    (fun row ->
+      check_bool "row bounded" true (String.length row <= 60 + 10))
+    (rows chart)
+
+let test_upto_clips () =
+  let model, segs = timeline_of Case_studies.quickstart in
+  let chart = Chart.render ~upto:9 model segs in
+  (* 9 columns after clipping *)
+  List.iter
+    (fun row ->
+      let start = String.index row '|' + 1 in
+      let stop = String.rindex row '|' in
+      check_int "nine columns" 9 (stop - start))
+    (rows chart)
+
+let test_occupancy_strip () =
+  let _, segs = timeline_of Case_studies.quickstart in
+  let strip = Chart.render_occupancy ~horizon:20 segs in
+  check_bool "cpu label" true (String.length strip > 4 && String.sub strip 0 3 = "cpu");
+  (* busy for 9 of 20 units *)
+  let hashes = String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 strip in
+  check_int "busy columns" 9 hashes
+
+let suite =
+  [
+    case "one row per task" test_row_per_task;
+    case "unscaled columns are exact" test_unscaled_columns_exact;
+    case "preemption gaps drawn" test_preemption_gap_dots;
+    case "scaling bounds the width" test_scaling_bounds_width;
+    case "upto clips the horizon" test_upto_clips;
+    case "occupancy strip" test_occupancy_strip;
+  ]

@@ -1,0 +1,114 @@
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Class_search = Ezrt_sched.Class_search
+module Schedule = Ezrt_sched.Schedule
+module Timeline = Ezrt_sched.Timeline
+module Validator = Ezrt_sched.Validator
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let solve spec =
+  let model = Translate.translate spec in
+  let outcome, metrics = Class_search.find_schedule model in
+  (model, outcome, metrics)
+
+let expect_feasible name spec =
+  match solve spec with
+  | model, Ok schedule, _ ->
+    let final = Schedule.replay model.Translate.net schedule in
+    check_bool (name ^ " reaches MF") true (Translate.is_final model final);
+    let segments = Timeline.of_schedule model schedule in
+    (match Validator.check model segments with
+    | Ok () -> ()
+    | Error vs ->
+      Alcotest.failf "%s: %s" name (Validator.violation_to_string (List.hd vs)))
+  | _, Error f, _ ->
+    Alcotest.failf "%s: %s" name (Class_search.failure_to_string f)
+
+let test_all_case_studies () =
+  List.iter (fun (name, spec) -> expect_feasible name spec) Case_studies.all
+
+let test_greedy_trap_without_flags () =
+  (* the class search is complete for dense time: the inserted-idle
+     schedule needs no special option, and the exact extraction
+     realizes the delayed release *)
+  expect_feasible "greedy trap" Case_studies.greedy_trap
+
+let test_fewer_nodes_than_discrete () =
+  let model = Translate.translate Case_studies.mine_pump in
+  let _, class_metrics = Class_search.find_schedule model in
+  let _, discrete_metrics = Search.find_schedule model in
+  check_bool "classes below discrete states" true
+    (class_metrics.Class_search.stored < discrete_metrics.Search.stored)
+
+let test_infeasible_detected () =
+  let spec =
+    Spec.make ~name:"tight"
+      ~tasks:
+        [
+          Task.make ~name:"a" ~wcet:5 ~deadline:5 ~period:10 ();
+          Task.make ~name:"b" ~wcet:5 ~deadline:6 ~period:10 ();
+        ]
+      ()
+  in
+  match solve spec with
+  | _, Error Class_search.Infeasible, _ -> ()
+  | _, Error f, _ ->
+    Alcotest.failf "wrong failure: %s" (Class_search.failure_to_string f)
+  | _, Ok _, _ -> Alcotest.fail "should be unschedulable"
+
+let test_budget () =
+  let model = Translate.translate Case_studies.mine_pump in
+  match Class_search.find_schedule ~max_stored:2 model with
+  | Error Class_search.Budget_exhausted, m ->
+    check_int "stored at budget" 2 m.Class_search.stored
+  | Error _, _ | Ok _, _ -> Alcotest.fail "expected budget exhaustion"
+
+let test_agrees_with_discrete_on_feasibility () =
+  List.iter
+    (fun (name, spec) ->
+      let model = Translate.translate spec in
+      let discrete = Result.is_ok (fst (Search.find_schedule model)) in
+      let classes = Result.is_ok (fst (Class_search.find_schedule model)) in
+      (* dense-time feasibility is implied by discrete feasibility *)
+      if discrete && not classes then
+        Alcotest.failf "%s: discrete feasible but class search failed" name)
+    Case_studies.all
+
+let prop_class_schedules_certify =
+  qcheck ~count:40 "class-search schedules certify" arbitrary_spec (fun spec ->
+      match solve spec with
+      | model, Ok schedule, _ ->
+        let segments = Timeline.of_schedule model schedule in
+        Result.is_ok (Validator.check model segments)
+      | _, Error Class_search.Extraction_failed, _ -> false
+      | _, Error (Class_search.Infeasible | Class_search.Budget_exhausted), _
+        -> true)
+
+(* Both engines must agree on feasibility for generated specs: the
+   discrete engine is work-conserving-restricted but the generator's
+   synchronous harmonic sets don't need inserted idle... they might.
+   Only the implication discrete => class is a theorem. *)
+let prop_discrete_implies_class =
+  qcheck ~count:30 "discrete feasible => class feasible" arbitrary_spec
+    (fun spec ->
+      let model = Translate.translate spec in
+      match fst (Search.find_schedule model) with
+      | Error _ -> true
+      | Ok _ -> Result.is_ok (fst (Class_search.find_schedule model)))
+
+let suite =
+  [
+    case "case studies via state classes" test_all_case_studies;
+    case "greedy trap needs no flag" test_greedy_trap_without_flags;
+    slow_case "fewer nodes than the discrete search"
+      test_fewer_nodes_than_discrete;
+    case "infeasibility detected" test_infeasible_detected;
+    case "budget exhaustion" test_budget;
+    case "feasibility agrees with the discrete engine"
+      test_agrees_with_discrete_on_feasibility;
+    prop_class_schedules_certify;
+    prop_discrete_implies_class;
+  ]

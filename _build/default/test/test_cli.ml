@@ -1,0 +1,198 @@
+(* End-to-end tests of the ezrt command-line tool: the binary is built
+   by dune (declared as a test dependency) and spawned here. *)
+
+open Test_util
+
+let binary =
+  lazy
+    (let candidates =
+       [
+         "../bin/ezrt.exe";
+         "bin/ezrt.exe";
+         "_build/default/bin/ezrt.exe";
+         Filename.concat (Filename.dirname Sys.executable_name) "../bin/ezrt.exe";
+       ]
+     in
+     match List.find_opt Sys.file_exists candidates with
+     | Some path -> Some path
+     | None -> None)
+
+let run args =
+  match Lazy.force binary with
+  | None -> None
+  | Some bin ->
+    let cmd =
+      Printf.sprintf "%s %s 2>&1" (Filename.quote bin)
+        (String.concat " " (List.map Filename.quote args))
+    in
+    let ic = Unix.open_process_in cmd in
+    let output = In_channel.input_all ic in
+    let code =
+      match Unix.close_process_in ic with
+      | Unix.WEXITED n -> n
+      | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1
+    in
+    Some (code, output)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let expect args ~code ~needles =
+  match run args with
+  | None -> ()  (* binary not found in this context: skip *)
+  | Some (got_code, output) ->
+    Alcotest.(check int)
+      (Printf.sprintf "exit code of ezrt %s" (String.concat " " args))
+      code got_code;
+    List.iter
+      (fun needle ->
+        if not (contains ~needle output) then
+          Alcotest.failf "ezrt %s: output lacks %S:\n%s"
+            (String.concat " " args) needle output)
+      needles
+
+let test_check () =
+  expect [ "check"; "--case"; "mine-pump" ] ~code:0
+    ~needles:[ "782 instances"; "well-formed" ]
+
+let test_check_rejects () =
+  expect [ "check"; "--case"; "no-such-case" ] ~code:1 ~needles:[ "unknown" ]
+
+let test_info () =
+  expect [ "info"; "--case"; "fig3" ] ~code:0
+    ~needles:[ "T1"; "T2"; "minimum firings" ]
+
+let test_schedule () =
+  expect [ "schedule"; "--case"; "fig8" ] ~code:0
+    ~needles:[ "schedule table"; "preempts"; "resumes" ]
+
+let test_schedule_policy_flag () =
+  expect [ "schedule"; "--case"; "quickstart"; "--policy"; "rm" ] ~code:0
+    ~needles:[ "schedule table" ]
+
+let test_schedule_infeasible_budget () =
+  expect [ "schedule"; "--case"; "mine-pump"; "--max-states"; "2" ] ~code:1
+    ~needles:[ "budget" ]
+
+let test_latest_release_flag () =
+  (* the trap is solvable either way (the DFS can reorder arrivals);
+     the flag must at least be accepted and still find the schedule *)
+  expect [ "schedule"; "--case"; "greedy-trap" ] ~code:0
+    ~needles:[ "schedule table" ];
+  expect [ "schedule"; "--case"; "greedy-trap"; "--latest-release" ] ~code:0
+    ~needles:[ "schedule table" ]
+
+let test_codegen () =
+  expect [ "codegen"; "--case"; "quickstart" ] ~code:0
+    ~needles:[ "struct ScheduleItem"; "ezrt_dispatch"; "int main(void)" ]
+
+let test_codegen_target () =
+  expect [ "codegen"; "--case"; "quickstart"; "--target"; "8051" ] ~code:0
+    ~needles:[ "__interrupt(1)"; "8051" ]
+
+let test_model_pnml () =
+  expect [ "model"; "--case"; "fig3" ] ~code:0
+    ~needles:[ "<pnml"; "initialMarking"; "toolspecific" ]
+
+let test_simulate () =
+  expect [ "simulate"; "--case"; "fig8" ] ~code:0
+    ~needles:[ "instances completed"; "satisfies every constraint" ]
+
+let test_compare () =
+  expect [ "compare"; "--case"; "greedy-trap" ] ~code:0
+    ~needles:[ "INFEASIBLE"; "pre-runtime (dfs)" ]
+
+let test_dsl_file_workflow () =
+  match Lazy.force binary with
+  | None -> ()
+  | Some _ ->
+    let path = Filename.temp_file "ezrt_cli" ".xml" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Ezrt_spec.Dsl.save_file path Ezrt_spec.Case_studies.quickstart;
+        expect [ "check"; path ] ~code:0 ~needles:[ "well-formed" ];
+        expect [ "schedule"; path ] ~code:0 ~needles:[ "schedule table" ])
+
+let test_class_engine () =
+  expect [ "schedule"; "--case"; "greedy-trap"; "--engine"; "classes" ]
+    ~code:0 ~needles:[ "class engine"; "urgent1 starts" ]
+
+let test_gantt_flag () =
+  expect [ "schedule"; "--case"; "quickstart"; "--gantt" ] ~code:0
+    ~needles:[ "sample"; "|##" ]
+
+let test_analyze () =
+  expect [ "analyze"; "--case"; "fig8" ] ~code:0
+    ~needles:[ "schedule quality"; "preemptions"; "dispatch overhead" ]
+
+let test_analyze_sensitivity () =
+  expect [ "analyze"; "--case"; "quickstart"; "--sensitivity" ] ~code:0
+    ~needles:[ "WCET sensitivity"; "margin" ]
+
+let test_vcd_output () =
+  match Lazy.force binary with
+  | None -> ()
+  | Some _ ->
+    let path = Filename.temp_file "ezrt_cli" ".vcd" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      (fun () ->
+        expect [ "schedule"; "--case"; "quickstart"; "--vcd"; path ] ~code:0
+          ~needles:[ "VCD written" ];
+        let contents = In_channel.with_open_text path In_channel.input_all in
+        if not (contains ~needle:"$enddefinitions" contents) then
+          Alcotest.fail "VCD file lacks its header")
+
+let test_simulate_fault () =
+  expect
+    [ "simulate"; "--case"; "quickstart"; "--fault"; "sample:0:5" ]
+    ~code:0
+    ~needles:[ "fault isolation"; "confined" ];
+  expect
+    [ "simulate"; "--case"; "quickstart"; "--fault"; "ghost:0:5" ]
+    ~code:1 ~needles:[ "unknown task" ]
+
+let test_model_check () =
+  expect [ "model-check"; "--case"; "fig4"; "-q"; "AG pproc <= 1" ] ~code:0
+    ~needles:[ "holds" ];
+  expect [ "model-check"; "--case"; "fig3"; "-q"; "EF pdm_T1 >= 1" ] ~code:1
+    ~needles:[ "does not hold" ];
+  expect [ "model-check"; "--case"; "fig3"; "-q"; "EF pend >= 1" ] ~code:0
+    ~needles:[ "witness" ];
+  expect [ "model-check"; "--case"; "fig3"; "-q"; "EF nonsense >= 1" ]
+    ~code:1 ~needles:[ "unknown place" ]
+
+let test_bad_usage () =
+  expect [ "check" ] ~code:1 ~needles:[ "FILE" ];
+  expect
+    [ "check"; "--case"; "fig3"; "/tmp/nonexistent-also-a-file.xml" ]
+    ~code:1 ~needles:[ "not both" ]
+
+let suite =
+  [
+    case "check" test_check;
+    case "check rejects unknown case" test_check_rejects;
+    case "info" test_info;
+    case "schedule" test_schedule;
+    case "schedule with a policy flag" test_schedule_policy_flag;
+    case "schedule budget exhaustion exits nonzero"
+      test_schedule_infeasible_budget;
+    case "latest-release flag" test_latest_release_flag;
+    case "codegen" test_codegen;
+    case "codegen target selection" test_codegen_target;
+    case "model prints PNML" test_model_pnml;
+    case "simulate" test_simulate;
+    case "compare" test_compare;
+    case "DSL file workflow" test_dsl_file_workflow;
+    case "class engine" test_class_engine;
+    case "gantt flag" test_gantt_flag;
+    case "analyze" test_analyze;
+    case "analyze with sensitivity" test_analyze_sensitivity;
+    case "vcd output" test_vcd_output;
+    case "simulate with fault injection" test_simulate_fault;
+    case "model-check" test_model_check;
+    case "bad usage" test_bad_usage;
+  ]

@@ -1,0 +1,245 @@
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Table = Ezrt_sched.Table
+module Target = Ezrt_codegen.Target
+module Emit = Ezrt_codegen.Emit
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let artifact_of spec =
+  let model = Translate.translate spec in
+  match Search.find_schedule model with
+  | Ok schedule, _ -> (model, Table.of_schedule model schedule)
+  | Error f, _ -> Alcotest.failf "infeasible: %s" (Search.failure_to_string f)
+
+let test_c_identifier () =
+  check_string "plain" "TaskA" (Emit.c_identifier "TaskA");
+  check_string "dashes" "mine_pump" (Emit.c_identifier "mine-pump");
+  check_string "leading digit" "T42nd" (Emit.c_identifier "42nd");
+  check_string "symbols" "a_b_c" (Emit.c_identifier "a.b c")
+
+let test_schedule_table_rendering () =
+  let model, items = artifact_of Case_studies.fig8_preemptive in
+  let table = Emit.schedule_table model items in
+  check_bool "array" true (contains ~needle:"struct ScheduleItem scheduleTable" table);
+  check_bool "fig8 comments" true (contains ~needle:"preempts" table);
+  check_bool "resume flag" true (contains ~needle:"true" table);
+  check_bool "function pointers" true (contains ~needle:"TaskA" table)
+
+let test_program_structure () =
+  let model, items = artifact_of Case_studies.quickstart in
+  let program = Emit.program model items in
+  List.iter
+    (fun needle ->
+      check_bool needle true (contains ~needle program))
+    [
+      "#define EZRT_SCHEDULE_SIZE 3";
+      "#define EZRT_HYPER_PERIOD 20";
+      "struct ScheduleItem";
+      "void sample(void)";
+      "void filter(void)";
+      "void actuate(void)";
+      "ezrt_dispatch";
+      "ezrt_timer_isr";
+      "EZRT_SAVE_CONTEXT";
+      "EZRT_RESTORE_CONTEXT";
+      "int main(void)";
+      "adc_read(&sample_buffer);" (* behavioural source embedded *);
+    ]
+
+let test_all_targets_emit () =
+  let model, items = artifact_of Case_studies.quickstart in
+  List.iter
+    (fun (name, target) ->
+      let program = Emit.program ~target model items in
+      check_bool (name ^ " nonempty") true (String.length program > 500);
+      check_bool (name ^ " names itself") true (contains ~needle:name program))
+    Target.all
+
+let test_8051_postfix_interrupt () =
+  let model, items = artifact_of Case_studies.quickstart in
+  let program = Emit.program ~target:Target.i8051 model items in
+  check_bool "SDCC style" true
+    (contains ~needle:"void ezrt_timer_isr(void) __interrupt(1)" program)
+
+let test_embedded_idle_loop () =
+  let model, items = artifact_of Case_studies.quickstart in
+  let program = Emit.program ~target:Target.x86 model items in
+  check_bool "hlt idle" true (contains ~needle:"hlt" program);
+  check_bool "no hosted harness" false (contains ~needle:"EZRT_HOSTED_CYCLES" program)
+
+let test_target_find () =
+  check_bool "finds arm9" true (Target.find "arm9" = Some Target.arm9);
+  check_bool "unknown" true (Target.find "z80" = None)
+
+(* Integration: the hosted program compiles with gcc -Werror and its
+   runtime trace equals the prediction from the schedule table. *)
+let compile_and_run ?(cflags = "") ?layout spec =
+  let model, items = artifact_of spec in
+  let program = Emit.program ?layout model items in
+  let dir = Filename.temp_file "ezrt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let c_path = Filename.concat dir "gen.c" in
+  let exe_path = Filename.concat dir "gen" in
+  Out_channel.with_open_text c_path (fun oc ->
+      Out_channel.output_string oc program);
+  let cmd =
+    Printf.sprintf "gcc -std=c99 -Wall -Wextra -Werror %s -o %s %s 2>&1"
+      cflags (Filename.quote exe_path) (Filename.quote c_path)
+  in
+  let ic = Unix.open_process_in cmd in
+  let gcc_out = In_channel.input_all ic in
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.failf "gcc failed:\n%s" gcc_out);
+  let ic = Unix.open_process_in (Filename.quote exe_path) in
+  let output = In_channel.input_all ic in
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "generated program crashed");
+  Sys.remove c_path;
+  Sys.remove exe_path;
+  Unix.rmdir dir;
+  (model, items, String.split_on_char '\n' (String.trim output))
+
+let test_hosted_program_runs () =
+  if Sys.command "command -v gcc >/dev/null 2>&1" <> 0 then ()
+  else begin
+    let model, items, lines = compile_and_run Case_studies.fig8_preemptive in
+    let predicted =
+      List.map (Emit.trace_line_of_item model ~base:0) items
+    in
+    let trace_lines =
+      List.filter
+        (fun l -> String.length l > 2 && String.sub l 0 2 = "t=")
+        lines
+    in
+    check_int "row count" (List.length predicted) (List.length trace_lines);
+    List.iter2 (fun want got -> check_string "trace line" want got) predicted
+      trace_lines;
+    match List.rev lines with
+    | last :: _ ->
+      check_bool "completion banner" true
+        (contains ~needle:"completed 1 hyper-period" last)
+    | [] -> Alcotest.fail "no output"
+  end
+
+let test_hosted_quickstart_runs () =
+  if Sys.command "command -v gcc >/dev/null 2>&1" <> 0 then ()
+  else begin
+    let model, items, lines = compile_and_run Case_studies.quickstart in
+    let predicted = List.map (Emit.trace_line_of_item model ~base:0) items in
+    let trace_lines =
+      List.filter (fun l -> String.length l > 2 && String.sub l 0 2 = "t=") lines
+    in
+    List.iter2 (fun want got -> check_string "trace line" want got) predicted
+      trace_lines
+  end
+
+(* the dispatcher wraps around the table: cycle 2's rows run at
+   hyper-period offsets *)
+let test_hosted_multi_cycle () =
+  if Sys.command "command -v gcc >/dev/null 2>&1" <> 0 then ()
+  else begin
+    let model, items, lines =
+      compile_and_run ~cflags:"-DEZRT_HOSTED_CYCLES=2" Case_studies.quickstart
+    in
+    let horizon = model.Translate.horizon in
+    let predicted =
+      List.map (Emit.trace_line_of_item model ~base:0) items
+      @ List.map (Emit.trace_line_of_item model ~base:horizon) items
+    in
+    let trace_lines =
+      List.filter (fun l -> String.length l > 2 && String.sub l 0 2 = "t=") lines
+    in
+    check_int "two cycles of rows" (List.length predicted)
+      (List.length trace_lines);
+    List.iter2 (fun want got -> check_string "trace line" want got) predicted
+      trace_lines
+  end
+
+let test_footprint () =
+  let _, items = artifact_of Case_studies.quickstart in
+  (* 8051 small model: 2+1(+1 pad)+2+2 = 8 bytes per row *)
+  let fp8051 = Emit.table_footprint Target.i8051 items in
+  check_int "8051 row bytes" 8 fp8051.Emit.row_bytes;
+  check_int "8051 table bytes" (3 * 8) fp8051.Emit.table_bytes;
+  check_bool "fits a 4 KiB part" true (fp8051.Emit.fits_flash = Some true);
+  (* 64-bit hosted: 4+1 pad-> 8? start 4 + flag 1 -> task at 8? layout:
+     4 + 1, pad to 4 -> task_id at 8..12, pointer at 16..24 -> 24 *)
+  let fp_host = Emit.table_footprint Target.hosted items in
+  check_int "hosted row bytes" 24 fp_host.Emit.row_bytes;
+  check_bool "hosted has no flash budget" true (fp_host.Emit.fits_flash = None);
+  (* the mine pump's 782 rows cannot fit the classic 8051 *)
+  let _, mine_items = artifact_of Case_studies.mine_pump in
+  let fp_mine = Emit.table_footprint Target.i8051 mine_items in
+  check_bool "mine pump exceeds 4 KiB" true (fp_mine.Emit.fits_flash = Some false);
+  check_int "one row per execution part" 782 fp_mine.Emit.rows
+
+let test_compact_footprint () =
+  let _, items = artifact_of Case_studies.mine_pump in
+  let fp = Emit.table_footprint ~layout:Emit.Compact_table Target.i8051 items in
+  check_int "3 bytes per row" 3 fp.Emit.row_bytes;
+  check_bool "mine pump fits the 8051 compactly" true
+    (fp.Emit.fits_flash = Some true)
+
+let test_compact_trace_identical () =
+  if Sys.command "command -v gcc >/dev/null 2>&1" <> 0 then ()
+  else begin
+    let model, items, struct_lines =
+      compile_and_run Case_studies.fig8_preemptive
+    in
+    ignore model;
+    ignore items;
+    let _, _, compact_lines =
+      compile_and_run ~layout:Emit.Compact_table Case_studies.fig8_preemptive
+    in
+    check_bool "identical dispatch traces" true (struct_lines = compact_lines)
+  end
+
+let test_compact_limits () =
+  let model, items = artifact_of Case_studies.quickstart in
+  (* horizon must fit 16 bits *)
+  let big =
+    Ezrt_spec.Spec.make ~name:"big"
+      ~tasks:
+        [ Ezrt_spec.Task.make ~name:"t" ~wcet:1 ~deadline:70000 ~period:70000 () ]
+      ()
+  in
+  ignore model;
+  ignore items;
+  let big_model = Translate.translate big in
+  (match Search.find_schedule big_model with
+  | Ok schedule, _ -> (
+    let big_items = Table.of_schedule big_model schedule in
+    match Emit.program ~layout:Emit.Compact_table big_model big_items with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected the 16-bit limit to trip")
+  | Error _, _ -> Alcotest.fail "single big task must schedule")
+
+let suite =
+  [
+    case "c identifiers" test_c_identifier;
+    slow_case "table footprints" test_footprint;
+    case "compact footprint" test_compact_footprint;
+    slow_case "compact layout produces the identical trace"
+      test_compact_trace_identical;
+    case "compact limits enforced" test_compact_limits;
+    slow_case "hosted runs two hyper-periods" test_hosted_multi_cycle;
+    case "schedule table rendering" test_schedule_table_rendering;
+    case "program structure" test_program_structure;
+    case "all targets emit" test_all_targets_emit;
+    case "8051 postfix interrupt keyword" test_8051_postfix_interrupt;
+    case "embedded idle loop" test_embedded_idle_loop;
+    case "target lookup" test_target_find;
+    slow_case "hosted fig8 compiles and matches its trace"
+      test_hosted_program_runs;
+    slow_case "hosted quickstart compiles and matches its trace"
+      test_hosted_quickstart_runs;
+  ]

@@ -1,0 +1,128 @@
+open Ezrt_tpn
+open Test_util
+
+let test_universe_nonempty () =
+  let d = Dbm.create 2 in
+  Dbm.canonicalize d;
+  check_bool "nonempty" false (Dbm.is_empty d);
+  check_int "dim" 2 (Dbm.dim d)
+
+let test_constrain_and_bounds () =
+  let d = Dbm.create 1 in
+  Dbm.constrain d 1 0 7;
+  Dbm.constrain d 0 1 (-2);
+  Dbm.canonicalize d;
+  check_bool "consistent" false (Dbm.is_empty d);
+  check_bool "bounds" true (Dbm.bounds d 1 = (2, 7))
+
+let test_tightening_only () =
+  let d = Dbm.create 1 in
+  Dbm.constrain d 1 0 5;
+  Dbm.constrain d 1 0 9;  (* looser: ignored *)
+  check_int "kept tight" 5 (Dbm.get d 1 0)
+
+let test_inconsistency_detected () =
+  let d = Dbm.create 1 in
+  Dbm.constrain d 1 0 1;  (* x <= 1 *)
+  Dbm.constrain d 0 1 (-3);  (* x >= 3 *)
+  Dbm.canonicalize d;
+  check_bool "empty" true (Dbm.is_empty d)
+
+let test_transitive_tightening () =
+  (* x - y <= 2, y <= 3  =>  x <= 5 *)
+  let d = Dbm.create 2 in
+  Dbm.constrain d 1 2 2;
+  Dbm.constrain d 2 0 3;
+  Dbm.constrain d 0 1 0;
+  Dbm.constrain d 0 2 0;
+  Dbm.canonicalize d;
+  check_int "derived upper bound" 5 (Dbm.get d 1 0)
+
+let test_equal_hash () =
+  let make () =
+    let d = Dbm.create 2 in
+    Dbm.constrain d 1 0 4;
+    Dbm.constrain d 0 2 (-1);
+    Dbm.canonicalize d;
+    d
+  in
+  let a = make () and b = make () in
+  check_bool "equal" true (Dbm.equal a b);
+  check_int "hash agrees" (Dbm.hash a) (Dbm.hash b);
+  Dbm.constrain b 1 0 2;
+  check_bool "not equal after change" false (Dbm.equal a b)
+
+let test_rebase () =
+  (* two clocks x1 in [1,3], x2 in [2,5]; fire variable 1 first and
+     rebase: x2' = x2 - x1 in [max(0,2-3), 5-1] = [0,4] with the
+     fires-first constraint applied beforehand *)
+  let d = Dbm.create 2 in
+  Dbm.constrain d 1 0 3;
+  Dbm.constrain d 0 1 (-1);
+  Dbm.constrain d 2 0 5;
+  Dbm.constrain d 0 2 (-2);
+  Dbm.constrain d 1 2 0;  (* x1 <= x2: fires first *)
+  Dbm.canonicalize d;
+  let r = Dbm.rebase d 1 ~keep:[ 2 ] in
+  Dbm.canonicalize r;
+  check_bool "nonempty" false (Dbm.is_empty r);
+  check_bool "rebased bounds" true (Dbm.bounds r 1 = (0, 4))
+
+let test_add_fresh () =
+  let d = Dbm.create 1 in
+  Dbm.constrain d 1 0 3;
+  Dbm.constrain d 0 1 0;
+  let d' = Dbm.add_fresh d [ (2, 6); (0, Dbm.infinity) ] in
+  Dbm.canonicalize d';
+  check_int "three variables" 3 (Dbm.dim d');
+  check_bool "fresh bounds" true (Dbm.bounds d' 2 = (2, 6));
+  check_bool "unbounded fresh" true (snd (Dbm.bounds d' 3) >= Dbm.infinity)
+
+let test_subset () =
+  let mk hi =
+    let d = Dbm.create 1 in
+    Dbm.constrain d 1 0 hi;
+    Dbm.constrain d 0 1 0;
+    Dbm.canonicalize d;
+    d
+  in
+  check_bool "tighter in looser" true (Dbm.subset (mk 3) (mk 5));
+  check_bool "looser not in tighter" false (Dbm.subset (mk 5) (mk 3));
+  check_bool "reflexive" true (Dbm.subset (mk 4) (mk 4));
+  check_bool "dimension mismatch" false (Dbm.subset (mk 3) (Dbm.create 2))
+
+let prop_canonical_idempotent =
+  qcheck ~count:100 "canonicalize is idempotent"
+    QCheck.(pair (int_range 1 4) (int_range 0 1000))
+    (fun (dim, seed) ->
+      let d = Dbm.create dim in
+      let rng = ref seed in
+      let next () =
+        rng := ((!rng * 1103515245) + 12345) land 0x3fffffff;
+        !rng
+      in
+      for _ = 1 to 6 do
+        let i = next () mod (dim + 1) and j = next () mod (dim + 1) in
+        if i <> j then Dbm.constrain d i j ((next () mod 15) - 3)
+      done;
+      Dbm.canonicalize d;
+      if Dbm.is_empty d then true
+      else begin
+        let again = Dbm.copy d in
+        Dbm.canonicalize again;
+        Dbm.equal d again
+      end)
+
+let suite =
+  [
+    case "universe" test_universe_nonempty;
+    case "constrain and bounds" test_constrain_and_bounds;
+    case "constrain only tightens" test_tightening_only;
+    case "inconsistency detected" test_inconsistency_detected;
+    case "transitive tightening" test_transitive_tightening;
+    case "equality and hashing" test_equal_hash;
+    case "subset (inclusion)" test_subset;
+    case "rebase (change of origin)" test_rebase;
+    case "add fresh variables" test_add_fresh;
+    prop_canonical_idempotent;
+  ]

@@ -1,0 +1,51 @@
+open Ezrt_tpn
+open Test_util
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_structure () =
+  let dot = Dot.to_dot (sequential_net ()) in
+  check_bool "digraph" true (contains ~needle:"digraph" dot);
+  check_bool "rankdir" true (contains ~needle:"rankdir=LR" dot);
+  check_bool "place node" true (contains ~needle:"shape=circle" dot);
+  check_bool "transition node" true (contains ~needle:"shape=box" dot);
+  check_bool "interval label" true (contains ~needle:"[2, 5]" dot);
+  check_bool "token annotation" true (contains ~needle:"(1)" dot);
+  check_bool "edges" true (contains ~needle:"p0 -> t0" dot);
+  check_bool "closes" true (contains ~needle:"}" dot)
+
+let test_weights_and_priorities () =
+  let b = Pnet.Builder.create "wp" in
+  let p = Pnet.Builder.add_place b ~tokens:1 "p" in
+  let q = Pnet.Builder.add_place b "q" in
+  let t = Pnet.Builder.add_transition b ~priority:7 "t" Time_interval.zero in
+  Pnet.Builder.arc_pt b p t ~weight:3;
+  Pnet.Builder.arc_tp b t q;
+  let dot = Dot.to_dot (Pnet.Builder.build b) in
+  check_bool "weight label" true (contains ~needle:"label=\"3\"" dot);
+  check_bool "priority shown" true (contains ~needle:"pi=7" dot)
+
+let test_quoting () =
+  let b = Pnet.Builder.create "quoted" in
+  let p = Pnet.Builder.add_place b ~tokens:1 "src" in
+  let q = Pnet.Builder.add_place b "has.dots" in
+  let t = Pnet.Builder.add_transition b "t" Time_interval.zero in
+  Pnet.Builder.arc_pt b p t;
+  Pnet.Builder.arc_tp b t q;
+  let dot = Dot.to_dot (Pnet.Builder.build b) in
+  check_bool "quoted name" true (contains ~needle:"\"has.dots\"" dot)
+
+let test_rankdir_option () =
+  let dot = Dot.to_dot ~rankdir:"TB" (sequential_net ()) in
+  check_bool "TB" true (contains ~needle:"rankdir=TB" dot)
+
+let suite =
+  [
+    case "dot structure" test_structure;
+    case "weights and priorities" test_weights_and_priorities;
+    case "name quoting" test_quoting;
+    case "rankdir option" test_rankdir_option;
+  ]

@@ -1,0 +1,178 @@
+module Dsl = Ezrt_spec.Dsl
+module Spec = Ezrt_spec.Spec
+module Task = Ezrt_spec.Task
+module Message = Ezrt_spec.Message
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let spec_equal (a : Spec.t) (b : Spec.t) =
+  a.Spec.name = b.Spec.name
+  && a.Spec.disp_overhead = b.Spec.disp_overhead
+  && a.Spec.tasks = b.Spec.tasks
+  && List.sort compare a.Spec.precedences = List.sort compare b.Spec.precedences
+  && a.Spec.exclusions = b.Spec.exclusions
+  && a.Spec.messages = b.Spec.messages
+
+let roundtrip spec =
+  match Dsl.of_string (Dsl.to_string spec) with
+  | Ok spec' -> spec'
+  | Error e -> Alcotest.failf "roundtrip failed: %s" (Dsl.error_to_string e)
+
+let test_roundtrip_case_studies () =
+  List.iter
+    (fun (name, spec) ->
+      check_bool (name ^ " roundtrips") true (spec_equal spec (roundtrip spec)))
+    Case_studies.all
+
+let test_roundtrip_rich_spec () =
+  let tasks =
+    [
+      Task.make ~id:"ez1" ~name:"sense" ~phase:2 ~release:1 ~wcet:2 ~deadline:8
+        ~period:20 ~energy:7 ~mode:Task.Preemptive ~code:"read(); x < 3 && y;"
+        ();
+      Task.make ~id:"ez2" ~name:"act" ~wcet:3 ~deadline:20 ~period:20 ();
+    ]
+  in
+  let messages =
+    [
+      Message.make ~id:"m1" ~name:"M1" ~sender:"ez1" ~receiver:"ez2"
+        ~bus:"can0" ~grant_time:1 ~comm_time:2 ();
+    ]
+  in
+  let spec =
+    Spec.make ~name:"rich" ~disp_overhead:3 ~tasks ~messages
+      ~precedences:[ ("ez1", "ez2") ]
+      ~exclusions:[ ("ez1", "ez2") ]
+      ()
+  in
+  check_bool "rich spec roundtrips" true (spec_equal spec (roundtrip spec))
+
+(* The document shape of paper Fig 7. *)
+let fig7 =
+  {|<?xml version="1.0" encoding="UTF-8"?>
+<rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime">
+<Task precedesTasks="#ez1151891690363" identifier="ez1151891">
+<processor>p124365</processor>
+<name>T1</name>
+<period>9</period>
+<power>10</power>
+<schedulingMode>NP</schedulingMode>
+<computing>1</computing>
+<deadline>9</deadline>
+</Task>
+<Task identifier="ez1151891690363">
+<processor>p124365</processor>
+<name>T2</name>
+<period>9</period>
+<power>4</power>
+<schedulingMode>NP</schedulingMode>
+<computing>2</computing>
+<deadline>9</deadline>
+</Task>
+<Processor identifier="p124365"><name>at91</name></Processor>
+</rt:ez-spec>|}
+
+let test_parse_fig7 () =
+  let spec =
+    match Dsl.of_string fig7 with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "fig7: %s" (Dsl.error_to_string e)
+  in
+  check_int "two tasks" 2 (List.length spec.Spec.tasks);
+  let t1 = Option.get (Spec.find_task spec "ez1151891") in
+  check_string "name" "T1" t1.Task.name;
+  check_int "period" 9 t1.Task.period;
+  check_int "power" 10 t1.Task.energy;
+  check_int "computing" 1 t1.Task.wcet;
+  check_bool "NP" true (t1.Task.mode = Task.Non_preemptive);
+  check_string "processor" "p124365" t1.Task.processor;
+  check_bool "precedence parsed" true
+    (Spec.precedes spec "ez1151891" "ez1151891690363");
+  check_bool "validates" true (Ezrt_spec.Validate.is_valid spec)
+
+let expect_error s =
+  match Dsl.of_string s with
+  | Ok _ -> Alcotest.failf "expected an error for %s" s
+  | Error _ -> ()
+
+let test_errors () =
+  expect_error "<wrong-root/>";
+  expect_error "not xml at all";
+  expect_error
+    "<rt:ez-spec xmlns:rt=\"x\"><Task><name>a</name></Task></rt:ez-spec>";
+  (* missing identifier *)
+  expect_error
+    "<rt:ez-spec xmlns:rt=\"x\"><Task identifier=\"a\"><period>oops</period>\
+     <computing>1</computing><deadline>1</deadline></Task></rt:ez-spec>";
+  (* bad int *)
+  expect_error
+    "<rt:ez-spec xmlns:rt=\"x\"><Task identifier=\"a\" \
+     precedesTasks=\"noHash\"><period>5</period><computing>1</computing>\
+     <deadline>5</deadline></Task></rt:ez-spec>"
+
+let test_defaults_on_read () =
+  let minimal =
+    "<rt:ez-spec xmlns:rt=\"x\"><Task identifier=\"a\"><period>5</period>\
+     <computing>1</computing><deadline>5</deadline></Task></rt:ez-spec>"
+  in
+  match Dsl.of_string minimal with
+  | Error e -> Alcotest.failf "minimal: %s" (Dsl.error_to_string e)
+  | Ok spec ->
+    let t = List.hd spec.Spec.tasks in
+    check_string "name defaults to id" "a" t.Task.name;
+    check_int "phase 0" 0 t.Task.phase;
+    check_bool "NP default" true (t.Task.mode = Task.Non_preemptive);
+    check_string "spec name default" "untitled" spec.Spec.name
+
+let test_file_io () =
+  let path = Filename.temp_file "ezrt" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dsl.save_file path Case_studies.mine_pump;
+      match Dsl.load_file path with
+      | Ok spec ->
+        check_bool "file roundtrip" true
+          (spec_equal Case_studies.mine_pump spec)
+      | Error e -> Alcotest.failf "load: %s" (Dsl.error_to_string e))
+
+let test_load_missing_file () =
+  match Dsl.load_file "/nonexistent/ezrt.xml" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error _ -> ()
+
+let prop_roundtrip_generated =
+  qcheck ~count:100 "generated specs roundtrip" arbitrary_spec (fun spec ->
+      spec_equal spec (roundtrip spec))
+
+(* the shipped specs/ directory stays in sync with the case-study
+   registry *)
+let test_shipped_spec_files () =
+  let dir =
+    List.find_opt Sys.file_exists
+      [ "../specs"; "specs"; "../../specs"; "../../../specs" ]
+  in
+  match dir with
+  | None -> ()  (* not available in this sandbox: skip *)
+  | Some dir ->
+    List.iter
+      (fun (name, spec) ->
+        let path = Filename.concat dir (name ^ ".xml") in
+        check_bool (name ^ ".xml shipped") true (Sys.file_exists path);
+        match Dsl.load_file path with
+        | Ok loaded -> check_bool (name ^ " in sync") true (spec_equal spec loaded)
+        | Error e -> Alcotest.failf "%s: %s" name (Dsl.error_to_string e))
+      Case_studies.all
+
+let suite =
+  [
+    case "shipped spec files stay in sync" test_shipped_spec_files;
+    case "case studies roundtrip" test_roundtrip_case_studies;
+    case "rich spec roundtrips" test_roundtrip_rich_spec;
+    case "parses the paper's Fig 7 document" test_parse_fig7;
+    case "malformed documents rejected" test_errors;
+    case "defaults on read" test_defaults_on_read;
+    case "file save/load" test_file_io;
+    case "missing file" test_load_missing_file;
+    prop_roundtrip_generated;
+  ]

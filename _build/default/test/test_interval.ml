@@ -1,0 +1,103 @@
+open Ezrt_tpn
+open Test_util
+
+let test_make_valid () =
+  let itv = Time_interval.make 3 7 in
+  check_int "eft" 3 (Time_interval.eft itv);
+  check_bool "lft" true (Time_interval.lft itv = Time_interval.Finite 7)
+
+let test_make_rejects_negative () =
+  Alcotest.check_raises "negative eft" (Invalid_argument
+    "Time_interval.make: negative EFT") (fun () ->
+      ignore (Time_interval.make (-1) 3))
+
+let test_make_rejects_inverted () =
+  Alcotest.check_raises "lft < eft" (Invalid_argument
+    "Time_interval.make: LFT < EFT") (fun () ->
+      ignore (Time_interval.make 5 3))
+
+let test_point () =
+  let itv = Time_interval.point 4 in
+  check_bool "is point" true (Time_interval.is_point itv);
+  check_bool "contains 4" true (Time_interval.contains itv 4);
+  check_bool "not 5" false (Time_interval.contains itv 5);
+  check_bool "not 3" false (Time_interval.contains itv 3)
+
+let test_zero () =
+  check_bool "zero is [0,0]" true
+    (Time_interval.equal Time_interval.zero (Time_interval.point 0))
+
+let test_unbounded () =
+  let itv = Time_interval.make_unbounded 2 in
+  check_bool "not point" false (Time_interval.is_point itv);
+  check_bool "contains huge" true (Time_interval.contains itv 1_000_000);
+  check_bool "not below eft" false (Time_interval.contains itv 1);
+  check_string "render" "[2, inf]" (Time_interval.to_string itv)
+
+let test_to_string () =
+  check_string "finite" "[0, 130]"
+    (Time_interval.to_string (Time_interval.make 0 130))
+
+let test_bound_ops () =
+  let open Time_interval in
+  check_bool "min finite" true (bound_min (Finite 3) (Finite 5) = Finite 3);
+  check_bool "min inf" true (bound_min Infinity (Finite 5) = Finite 5);
+  check_bool "le inf" true (bound_le (Finite 1000) Infinity);
+  check_bool "inf not le" false (bound_le Infinity (Finite 1000));
+  check_bool "inf le inf" true (bound_le Infinity Infinity);
+  check_bool "add" true (bound_add (Finite 3) 4 = Finite 7);
+  check_bool "add inf" true (bound_add Infinity 4 = Infinity);
+  check_bool "sub" true (bound_sub (Finite 3) 4 = Finite (-1));
+  check_bool "sub inf" true (bound_sub Infinity 4 = Infinity)
+
+let test_equal () =
+  let open Time_interval in
+  check_bool "same" true (equal (make 1 2) (make 1 2));
+  check_bool "diff lft" false (equal (make 1 2) (make 1 3));
+  check_bool "finite vs inf" false (equal (make 1 2) (make_unbounded 1));
+  check_bool "inf vs inf" true (equal (make_unbounded 1) (make_unbounded 1))
+
+let prop_make_contains_bounds =
+  qcheck "contains both bounds" QCheck.(pair (int_bound 50) (int_bound 50))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let itv = Time_interval.make lo hi in
+      Time_interval.contains itv lo && Time_interval.contains itv hi)
+
+let prop_bound_min_commutative =
+  let bound_gen =
+    QCheck.map
+      (fun n ->
+        if n = 0 then Time_interval.Infinity else Time_interval.Finite n)
+      QCheck.(int_bound 20)
+  in
+  qcheck "bound_min commutative" (QCheck.pair bound_gen bound_gen)
+    (fun (a, b) -> Time_interval.bound_min a b = Time_interval.bound_min b a)
+
+let prop_bound_min_le =
+  let bound_gen =
+    QCheck.map
+      (fun n ->
+        if n = 0 then Time_interval.Infinity else Time_interval.Finite n)
+      QCheck.(int_bound 20)
+  in
+  qcheck "bound_min is a lower bound" (QCheck.pair bound_gen bound_gen)
+    (fun (a, b) ->
+      let m = Time_interval.bound_min a b in
+      Time_interval.bound_le m a && Time_interval.bound_le m b)
+
+let suite =
+  [
+    case "make valid" test_make_valid;
+    case "make rejects negative" test_make_rejects_negative;
+    case "make rejects inverted" test_make_rejects_inverted;
+    case "point" test_point;
+    case "zero" test_zero;
+    case "unbounded" test_unbounded;
+    case "to_string" test_to_string;
+    case "bound ops" test_bound_ops;
+    case "equal" test_equal;
+    prop_make_contains_bounds;
+    prop_bound_min_commutative;
+    prop_bound_min_le;
+  ]

@@ -1,0 +1,126 @@
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let test_incidence () =
+  let net = sequential_net () in
+  let c = Invariants.incidence net in
+  (* p0 -t0-> p1 -t1-> p2 *)
+  check_int "p0 loses to t0" (-1) c.(0).(0);
+  check_int "p1 gains from t0" 1 c.(1).(0);
+  check_int "p1 loses to t1" (-1) c.(1).(1);
+  check_int "p2 gains from t1" 1 c.(2).(1);
+  check_int "p0 untouched by t1" 0 c.(0).(1)
+
+let test_is_invariant () =
+  let net = sequential_net () in
+  check_bool "all-ones conserves the token" true
+    (Invariants.is_invariant net [| 1; 1; 1 |]);
+  check_bool "partial sum is not invariant" false
+    (Invariants.is_invariant net [| 1; 1; 0 |]);
+  check_bool "wrong length" false (Invariants.is_invariant net [| 1 |])
+
+let test_weighted_tokens () =
+  check_int "dot product" 7 (Invariants.weighted_tokens [| 1; 2 |] [| 3; 2 |])
+
+let test_sequential_invariants () =
+  let net = sequential_net () in
+  let invs = Invariants.p_invariants net in
+  check_int "one minimal invariant" 1 (List.length invs);
+  check_bool "it is the token count" true (List.hd invs = [| 1; 1; 1 |]);
+  check_int "its constant is 1" 1
+    (Invariants.conserved_constant net (List.hd invs))
+
+let test_ring_invariant () =
+  let net = ring_net 5 7 in
+  let invs = Invariants.p_invariants net in
+  check_int "single circulating token" 1 (List.length invs);
+  check_bool "uniform weights" true
+    (Array.for_all (fun w -> w = 1) (List.hd invs))
+
+let test_conflict_invariant () =
+  let net = conflict_net () in
+  let invs = Invariants.p_invariants net in
+  (* p0 + p1 + p2 conserved *)
+  check_bool "found" true (List.mem [| 1; 1; 1 |] invs);
+  List.iter
+    (fun y -> check_bool "each is an invariant" true (Invariants.is_invariant net y))
+    invs
+
+(* The load-bearing one: the processor/exclusion places of a translated
+   model are covered by an invariant with constant 1 — a structural
+   proof of mutual exclusion, independent of the state-space search. *)
+let test_resources_structurally_safe () =
+  List.iter
+    (fun (name, spec) ->
+      let model = Translate.translate spec in
+      let invs =
+        Invariants.p_invariants ~max_rows:20_000 model.Translate.net
+      in
+      List.iter
+        (fun y ->
+          check_bool (name ^ ": Farkas output is an invariant") true
+            (Invariants.is_invariant model.Translate.net y))
+        invs;
+      List.iter
+        (fun place ->
+          match Invariants.invariant_covering model.Translate.net place invs with
+          | Some y ->
+            (* the invariant bounds the place at constant / weight
+               tokens; resources must be bounded at exactly 1 *)
+            check_int
+              (name ^ ": invariant proves the resource is 1-safe")
+              1
+              (Invariants.conserved_constant model.Translate.net y / y.(place))
+          | None ->
+            Alcotest.failf "%s: resource place %s not covered" name
+              (Pnet.place_name model.Translate.net place))
+        model.Translate.resource_places)
+    [
+      ("fig3", Case_studies.fig3_precedence);
+      ("fig4", Case_studies.fig4_exclusion);
+      ("quickstart", Case_studies.quickstart);
+    ]
+
+let test_row_bound () =
+  let net =
+    (Translate.translate Case_studies.fig4_exclusion).Translate.net
+  in
+  match Invariants.p_invariants ~max_rows:1 net with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected the row bound to trip"
+
+let prop_invariants_hold_along_runs =
+  qcheck ~count:60 "invariants constant along random ring runs"
+    QCheck.(pair (int_range 2 5) (int_range 0 50))
+    (fun (n, seed) ->
+      let net = ring_net n seed in
+      let invs = Invariants.p_invariants net in
+      let rec walk s steps =
+        steps = 0
+        || List.for_all
+             (fun y ->
+               Invariants.weighted_tokens y s.State.marking
+               = Invariants.conserved_constant net y)
+             invs
+           &&
+           match State.fireable net s with
+           | [] -> true
+           | tid :: _ ->
+             walk (State.fire net s tid (State.dlb net s tid)) (steps - 1)
+      in
+      walk (State.initial net) 20)
+
+let suite =
+  [
+    case "incidence matrix" test_incidence;
+    case "is_invariant" test_is_invariant;
+    case "weighted tokens" test_weighted_tokens;
+    case "sequential net invariant" test_sequential_invariants;
+    case "ring invariant" test_ring_invariant;
+    case "conflict invariant" test_conflict_invariant;
+    case "resources are structurally safe" test_resources_structurally_safe;
+    case "row bound trips gracefully" test_row_bound;
+    prop_invariants_hold_along_runs;
+  ]

@@ -1,0 +1,159 @@
+open Ezrt_tpn
+module Pnml = Ezrt_pnml.Pnml
+open Test_util
+
+let net_equal (a : Pnet.t) (b : Pnet.t) =
+  a.Pnet.net_name = b.Pnet.net_name
+  && a.Pnet.place_names = b.Pnet.place_names
+  && Array.for_all2
+       (fun (x : Pnet.transition) (y : Pnet.transition) ->
+         x.Pnet.t_name = y.Pnet.t_name
+         && Time_interval.equal x.Pnet.interval y.Pnet.interval
+         && x.Pnet.priority = y.Pnet.priority
+         && x.Pnet.code = y.Pnet.code)
+       a.Pnet.transitions b.Pnet.transitions
+  && a.Pnet.pre = b.Pnet.pre
+  && a.Pnet.post = b.Pnet.post
+  && a.Pnet.m0 = b.Pnet.m0
+
+let roundtrip net =
+  match Pnml.of_string (Pnml.to_string net) with
+  | Ok net' -> net'
+  | Error e -> Alcotest.failf "roundtrip: %s" (Pnml.error_to_string e)
+
+let test_roundtrip_small_nets () =
+  check_bool "sequential" true
+    (net_equal (sequential_net ()) (roundtrip (sequential_net ())));
+  check_bool "conflict" true
+    (net_equal (conflict_net ()) (roundtrip (conflict_net ())))
+
+let test_roundtrip_case_studies () =
+  List.iter
+    (fun (name, spec) ->
+      if name <> "mine-pump" then begin
+        let net = (Ezrt_blocks.Translate.translate spec).Ezrt_blocks.Translate.net in
+        check_bool (name ^ " net roundtrips") true (net_equal net (roundtrip net))
+      end)
+    Ezrt_spec.Case_studies.all
+
+let test_roundtrip_mine_pump () =
+  let net =
+    (Ezrt_blocks.Translate.translate Ezrt_spec.Case_studies.mine_pump)
+      .Ezrt_blocks.Translate.net
+  in
+  check_bool "mine pump net roundtrips" true (net_equal net (roundtrip net))
+
+let test_roundtrip_features () =
+  (* priorities, code bindings, weights, unbounded intervals *)
+  let b = Pnet.Builder.create "features" in
+  let p = Pnet.Builder.add_place b ~tokens:2 "a place" in
+  let q = Pnet.Builder.add_place b "q" in
+  let t0 =
+    Pnet.Builder.add_transition b ~priority:5 ~code:"x += 1; /* <&> */" "t0"
+      (Time_interval.make_unbounded 3)
+  in
+  Pnet.Builder.arc_pt b p t0 ~weight:2;
+  Pnet.Builder.arc_tp b t0 q ~weight:7;
+  let net = Pnet.Builder.build b in
+  check_bool "features roundtrip" true (net_equal net (roundtrip net))
+
+let test_document_shape () =
+  let doc = Pnml.to_xml (sequential_net ()) in
+  check_string "root" "pnml" (Option.get (Ezrt_xml.Doc.tag_of doc));
+  let net_elt = Option.get (Ezrt_xml.Doc.find_child doc "net") in
+  check_string "net type" Pnml.net_type
+    (Ezrt_xml.Doc.attr_exn net_elt "type");
+  let page = Option.get (Ezrt_xml.Doc.find_child net_elt "page") in
+  check_int "places" 3
+    (List.length (Ezrt_xml.Doc.find_children page "place"));
+  check_int "transitions" 2
+    (List.length (Ezrt_xml.Doc.find_children page "transition"));
+  check_int "arcs" 4 (List.length (Ezrt_xml.Doc.find_children page "arc"))
+
+let test_foreign_toolspecific_ignored () =
+  let s =
+    {|<pnml><net id="n" type="t"><page id="p">
+        <place id="p0"><name><text>p0</text></name>
+          <initialMarking><text>1</text></initialMarking></place>
+        <transition id="t0"><name><text>t0</text></name>
+          <toolspecific tool="other" version="1"><weird/></toolspecific>
+        </transition>
+        <arc id="a0" source="p0" target="t0"/>
+      </page></net></pnml>|}
+  in
+  match Pnml.of_string s with
+  | Error e -> Alcotest.failf "parse: %s" (Pnml.error_to_string e)
+  | Ok net ->
+    (* no ezrealtime extension: unbounded default interval *)
+    check_bool "default interval" true
+      (Time_interval.equal (Pnet.interval net 0) (Time_interval.make_unbounded 0))
+
+let test_pageless_document () =
+  let s =
+    {|<pnml><net id="n" type="t">
+        <place id="p0"><initialMarking><text>1</text></initialMarking></place>
+        <transition id="t0"/>
+        <arc id="a0" source="p0" target="t0"/>
+      </net></pnml>|}
+  in
+  match Pnml.of_string s with
+  | Error e -> Alcotest.failf "parse: %s" (Pnml.error_to_string e)
+  | Ok net ->
+    check_int "one place" 1 (Pnet.place_count net);
+    check_string "name falls back to id" "p0" (Pnet.place_name net 0)
+
+let expect_error s =
+  match Pnml.of_string s with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error _ -> ()
+
+let test_errors () =
+  expect_error "<notpnml/>";
+  expect_error "<pnml/>";
+  (* arc endpoints must be a place-transition pair *)
+  expect_error
+    {|<pnml><net id="n" type="t"><page id="p">
+        <place id="p0"/><place id="p1"/>
+        <arc id="a0" source="p0" target="p1"/>
+      </page></net></pnml>|};
+  (* missing arc target *)
+  expect_error
+    {|<pnml><net id="n" type="t"><page id="p">
+        <place id="p0"/><transition id="t0"/>
+        <arc id="a0" source="p0"/>
+      </page></net></pnml>|};
+  (* net that violates builder invariants: transition without inputs *)
+  expect_error
+    {|<pnml><net id="n" type="t"><page id="p">
+        <transition id="t0"/>
+      </page></net></pnml>|}
+
+let test_file_io () =
+  let path = Filename.temp_file "ezrt" ".pnml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let net = conflict_net () in
+      Pnml.save_file path net;
+      match Pnml.load_file path with
+      | Ok net' -> check_bool "file roundtrip" true (net_equal net net')
+      | Error e -> Alcotest.failf "load: %s" (Pnml.error_to_string e))
+
+let prop_translated_roundtrip =
+  qcheck ~count:40 "translated nets roundtrip" arbitrary_spec (fun spec ->
+      let net = (Ezrt_blocks.Translate.translate spec).Ezrt_blocks.Translate.net in
+      net_equal net (roundtrip net))
+
+let suite =
+  [
+    case "small nets roundtrip" test_roundtrip_small_nets;
+    case "case-study nets roundtrip" test_roundtrip_case_studies;
+    slow_case "mine pump net roundtrips" test_roundtrip_mine_pump;
+    case "priorities, code, weights, unbounded" test_roundtrip_features;
+    case "ISO document shape" test_document_shape;
+    case "foreign toolspecific ignored" test_foreign_toolspecific_ignored;
+    case "pageless documents tolerated" test_pageless_document;
+    case "malformed documents rejected" test_errors;
+    case "file save/load" test_file_io;
+    prop_translated_roundtrip;
+  ]

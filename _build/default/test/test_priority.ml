@@ -1,0 +1,102 @@
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+module Priority = Ezrt_sched.Priority
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+(* Two tasks, both with work pending at t=0; urgent has the shorter
+   deadline and period. *)
+let model =
+  lazy
+    (Translate.translate
+       (Ezrt_spec.Spec.make ~name:"prio"
+          ~tasks:
+            [
+              Ezrt_spec.Task.make ~name:"slow" ~wcet:2 ~deadline:40 ~period:40 ();
+              Ezrt_spec.Task.make ~name:"fast" ~wcet:2 ~deadline:10 ~period:20 ();
+            ]
+          ()))
+
+(* Drive the net to the state where both release transitions compete. *)
+let competing_state () =
+  let model = Lazy.force model in
+  let net = model.Translate.net in
+  let rec advance s =
+    let trs = State.fireable net s in
+    let is_release tid =
+      match model.Translate.meanings.(tid) with
+      | Ezrt_blocks.Meaning.Release _ -> true
+      | _ -> false
+    in
+    if List.length (List.filter is_release trs) >= 2 then (s, trs)
+    else begin
+      let is_arrival tid =
+        match model.Translate.meanings.(tid) with
+        | Ezrt_blocks.Meaning.Phase_arrival _ | Ezrt_blocks.Meaning.Arrival _ ->
+          true
+        | _ -> false
+      in
+      (* fire pending arrivals first so both releases become ready *)
+      match List.filter is_arrival trs @ trs with
+      | tid :: _ -> advance (State.fire net s tid (State.dlb net s tid))
+      | [] -> Alcotest.fail "never reached the competing state"
+    end
+  in
+  advance (State.initial net)
+
+let release_order policy =
+  let model = Lazy.force model in
+  let s, candidates = competing_state () in
+  let ordered = Priority.order policy model s candidates in
+  List.filter_map
+    (fun tid ->
+      match model.Translate.meanings.(tid) with
+      | Ezrt_blocks.Meaning.Release i ->
+        Some model.Translate.tasks.(i).Ezrt_spec.Task.name
+      | _ -> None)
+    ordered
+
+let test_edf_prefers_tight_deadline () =
+  match release_order Priority.Edf with
+  | "fast" :: _ -> ()
+  | order -> Alcotest.failf "edf order: %s" (String.concat "," order)
+
+let test_rm_prefers_short_period () =
+  match release_order Priority.Rm with
+  | "fast" :: _ -> ()
+  | order -> Alcotest.failf "rm order: %s" (String.concat "," order)
+
+let test_dm_prefers_short_deadline () =
+  match release_order Priority.Dm with
+  | "fast" :: _ -> ()
+  | order -> Alcotest.failf "dm order: %s" (String.concat "," order)
+
+let test_fifo_is_id_order () =
+  let model = Lazy.force model in
+  let s, candidates = competing_state () in
+  let ordered = Priority.order Priority.Fifo model s candidates in
+  check_bool "sorted by id" true (ordered = List.sort compare candidates)
+
+let test_order_is_permutation () =
+  let model = Lazy.force model in
+  let s, candidates = competing_state () in
+  List.iter
+    (fun (_, policy) ->
+      let ordered = Priority.order policy model s candidates in
+      check_bool "permutation" true
+        (List.sort compare ordered = List.sort compare candidates))
+    Priority.all
+
+let test_names () =
+  check_string "edf" "edf" (Priority.to_string Priority.Edf);
+  check_int "five policies" 5 (List.length Priority.all)
+
+let suite =
+  [
+    case "EDF prefers the tight deadline" test_edf_prefers_tight_deadline;
+    case "RM prefers the short period" test_rm_prefers_short_period;
+    case "DM prefers the short deadline" test_dm_prefers_short_deadline;
+    case "FIFO keeps id order" test_fifo_is_id_order;
+    case "ordering is a permutation" test_order_is_permutation;
+    case "policy names" test_names;
+  ]

@@ -1,0 +1,88 @@
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Timeline = Ezrt_sched.Timeline
+module Quality = Ezrt_sched.Quality
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let quality_of spec =
+  let model = Translate.translate spec in
+  match Search.find_schedule model with
+  | Ok schedule, _ ->
+    (model, Quality.of_timeline model (Timeline.of_schedule model schedule))
+  | Error f, _ -> Alcotest.failf "infeasible: %s" (Search.failure_to_string f)
+
+let test_quickstart_quality () =
+  let _, q = quality_of Case_studies.quickstart in
+  (* sample [0,2), filter [2,6), actuate [6,9) *)
+  let by name = List.find (fun t -> t.Quality.task = name) q.Quality.tasks in
+  let sample = by "sample" and actuate = by "actuate" in
+  check_int "sample response" 2 sample.Quality.worst_response;
+  check_int "sample slack" 8 sample.Quality.worst_slack;
+  check_int "actuate response" 9 actuate.Quality.worst_response;
+  check_int "no preemptions" 0 q.Quality.total_preemptions;
+  check_int "three context switches" 3 q.Quality.context_switches;
+  check_int "busy" 9 q.Quality.busy;
+  check_int "idle" 11 q.Quality.idle;
+  check_int "makespan" 9 q.Quality.makespan
+
+let test_single_instance_statistics () =
+  let _, q = quality_of Case_studies.quickstart in
+  List.iter
+    (fun t ->
+      check_int "best = worst for single instances" t.Quality.worst_response
+        t.Quality.best_response;
+      check_bool "avg matches" true
+        (abs_float (t.Quality.avg_response -. float_of_int t.Quality.worst_response)
+         < 1e-9);
+      check_int "no jitter with one instance" 0 t.Quality.start_jitter)
+    q.Quality.tasks
+
+let test_preemptions_counted () =
+  let _, q = quality_of Case_studies.fig8_preemptive in
+  check_bool "preempted instances resume" true (q.Quality.total_preemptions > 0);
+  check_int "rows = segments" q.Quality.context_switches
+    (let model = Translate.translate Case_studies.fig8_preemptive in
+     match Search.find_schedule model with
+     | Ok s, _ -> List.length (Timeline.of_schedule model s)
+     | Error _, _ -> -1)
+
+let test_jitter_measured () =
+  let _, q = quality_of Case_studies.mine_pump in
+  (* PMC has 375 instances competing with slower tasks: its start
+     offset necessarily varies *)
+  let pmc = List.find (fun t -> t.Quality.task = "PMC") q.Quality.tasks in
+  check_int "instances" 375 pmc.Quality.instances;
+  check_bool "nonnegative slack everywhere" true
+    (List.for_all (fun t -> t.Quality.worst_slack >= 0) q.Quality.tasks);
+  check_bool "responses within deadlines" true
+    (List.for_all2
+       (fun t (task : Task.t) -> t.Quality.worst_response <= task.Task.deadline)
+       q.Quality.tasks Case_studies.mine_pump.Spec.tasks)
+
+let test_incomplete_timeline_rejected () =
+  let model = Translate.translate Case_studies.quickstart in
+  match Search.find_schedule model with
+  | Error _, _ -> Alcotest.fail "infeasible"
+  | Ok schedule, _ -> (
+    let segments = Timeline.of_schedule model schedule in
+    match Quality.of_timeline model (List.tl segments) with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected rejection")
+
+let test_pp () =
+  let _, q = quality_of Case_studies.fig8_preemptive in
+  let s = Format.asprintf "%a" Quality.pp q in
+  check_bool "renders" true (String.length s > 100)
+
+let suite =
+  [
+    case "quickstart quality numbers" test_quickstart_quality;
+    case "single-instance statistics" test_single_instance_statistics;
+    case "preemptions counted" test_preemptions_counted;
+    slow_case "jitter on the mine pump" test_jitter_measured;
+    case "incomplete timelines rejected" test_incomplete_timeline_rejected;
+    case "report renders" test_pp;
+  ]

@@ -1,0 +1,80 @@
+open Ezrt_tpn
+module Relations = Ezrt_blocks.Relations
+open Test_util
+
+(* Minimal harness: two "finish" transitions feeding relation
+   structures that gate two "release" transitions. *)
+let harness () =
+  let b = Pnet.Builder.create "relations" in
+  let src_a = Pnet.Builder.add_place b ~tokens:1 "src_a" in
+  let fin_a = Pnet.Builder.add_transition b "fin_a" Time_interval.zero in
+  Pnet.Builder.arc_pt b src_a fin_a;
+  let src_b = Pnet.Builder.add_place b ~tokens:1 "src_b" in
+  let rel_b = Pnet.Builder.add_transition b "rel_b" Time_interval.zero in
+  Pnet.Builder.arc_pt b src_b rel_b;
+  let done_b = Pnet.Builder.add_place b "done_b" in
+  Pnet.Builder.arc_tp b rel_b done_b;
+  (b, fin_a, rel_b, done_b)
+
+let test_precedence_gates_release () =
+  let b, fin_a, rel_b, done_b = harness () in
+  let rel =
+    Relations.add_precedence b ~name:"ab" ~finish_of_pred:fin_a
+      ~release_of_succ:rel_b
+  in
+  let net = Pnet.Builder.build b in
+  let s0 = State.initial net in
+  check_bool "successor blocked before predecessor" false
+    (State.is_enabled s0 rel_b);
+  let s1 = State.fire net s0 fin_a 0 in
+  check_int "token banked" 1 (State.tokens s1 rel.Relations.pwp);
+  let s2 = State.fire net s1 rel.Relations.tprec 0 in
+  check_bool "successor released" true (State.is_enabled s2 rel_b);
+  let s3 = State.fire net s2 rel_b 0 in
+  check_int "successor ran" 1 (State.tokens s3 done_b);
+  check_int "gate consumed" 0 (State.tokens s3 rel.Relations.pprec)
+
+let test_exclusion_place_is_marked () =
+  let b = Pnet.Builder.create "excl" in
+  let slot = Relations.exclusion_place b ~name:"ab" in
+  let t = Pnet.Builder.add_transition b "t" Time_interval.zero in
+  Pnet.Builder.arc_pt b slot t;
+  let net = Pnet.Builder.build b in
+  check_int "one slot token" 1 net.Pnet.m0.(slot);
+  check_string "paper naming" "pexcl_ab" (Pnet.place_name net slot)
+
+let test_message_occupies_bus () =
+  let b, fin_a, rel_b, _ = harness () in
+  let bus = Pnet.Builder.add_place b ~tokens:1 "pbus" in
+  let comm =
+    Relations.add_message b ~name:"m" ~bus ~grant_time:2 ~comm_time:3
+      ~finish_of_sender:fin_a ~release_of_receiver:rel_b
+  in
+  let net = Pnet.Builder.build b in
+  let s1 = State.fire net (State.initial net) fin_a 0 in
+  check_bool "receiver still blocked" false (State.is_enabled s1 rel_b);
+  check_int "grant takes g units" 2 (State.dlb net s1 comm.Relations.tsm);
+  let s2 = State.fire net s1 comm.Relations.tsm 2 in
+  check_int "bus taken" 0 (State.tokens s2 bus);
+  check_int "transfer takes cm units" 3 (State.dlb net s2 comm.Relations.tcm);
+  let s3 = State.fire net s2 comm.Relations.tcm 3 in
+  check_int "bus returned" 1 (State.tokens s3 bus);
+  check_int "delivered" 1 (State.tokens s3 comm.Relations.pd);
+  check_bool "receiver released" true (State.is_enabled s3 rel_b)
+
+let test_message_rejects_negative_times () =
+  let b, fin_a, rel_b, _ = harness () in
+  let bus = Pnet.Builder.add_place b ~tokens:1 "pbus" in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "add_message: negative communication time") (fun () ->
+      ignore
+        (Relations.add_message b ~name:"m" ~bus ~grant_time:(-1) ~comm_time:3
+           ~finish_of_sender:fin_a ~release_of_receiver:rel_b))
+
+let suite =
+  [
+    case "precedence gates the successor" test_precedence_gates_release;
+    case "exclusion place" test_exclusion_place_is_marked;
+    case "message occupies the bus" test_message_occupies_bus;
+    case "negative message times rejected" test_message_rejects_negative_times;
+  ]

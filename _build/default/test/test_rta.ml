@@ -1,0 +1,142 @@
+module Rta = Ezrt_baseline.Rta
+module Sim = Ezrt_baseline.Sim
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+open Test_util
+
+let spec_of tasks = Spec.make ~name:"rta" ~tasks ()
+
+let analyze_exn ?policy spec =
+  match Rta.analyze ?policy spec with
+  | Ok report -> report
+  | Error msg -> Alcotest.failf "rta: %s" msg
+
+(* The textbook example: three preemptive tasks under RM. *)
+let classic =
+  spec_of
+    [
+      Task.make ~name:"t1" ~wcet:3 ~deadline:7 ~period:7 ~mode:Task.Preemptive ();
+      Task.make ~name:"t2" ~wcet:3 ~deadline:12 ~period:12 ~mode:Task.Preemptive ();
+      Task.make ~name:"t3" ~wcet:5 ~deadline:20 ~period:20 ~mode:Task.Preemptive ();
+    ]
+
+let test_classic_response_times () =
+  let report = analyze_exn ~policy:Rta.Rate_monotonic classic in
+  let response name =
+    (List.find (fun (r : Rta.task_report) -> r.Rta.task = name) report.Rta.tasks)
+      .Rta.response_time
+  in
+  (* R1 = 3; R2 = 3 + 3 = 6; R3 iterates 5 -> 11 -> 14 -> 17 -> 20 -> 20 *)
+  check_bool "R(t1)" true (response "t1" = Some 3);
+  check_bool "R(t2)" true (response "t2" = Some 6);
+  check_bool "R(t3)" true (response "t3" = Some 20);
+  check_bool "all schedulable" true report.Rta.all_schedulable
+
+let test_utilization_bound () =
+  let report = analyze_exn classic in
+  (* U = 3/7 + 3/12 + 5/20 = 0.9286 > bound(3) = 0.7798 *)
+  check_bool "U" true (abs_float (report.Rta.utilization -. 0.9286) < 0.001);
+  check_bool "bound" true
+    (abs_float (report.Rta.liu_layland_bound -. 0.7798) < 0.001);
+  check_bool "inconclusive by utilization alone" false
+    report.Rta.passes_utilization_test
+
+let test_miss_detected () =
+  (* U = 1.0: the fixed point of lo lands at 16, past its deadline 15 *)
+  let tight =
+    spec_of
+      [
+        Task.make ~name:"hi" ~wcet:5 ~deadline:8 ~period:8 ~mode:Task.Preemptive ();
+        Task.make ~name:"lo" ~wcet:6 ~deadline:15 ~period:16 ~mode:Task.Preemptive ();
+      ]
+  in
+  let report = analyze_exn ~policy:Rta.Rate_monotonic tight in
+  let lo = List.nth report.Rta.tasks 1 in
+  check_bool "fixed point past the deadline" true (lo.Rta.response_time = Some 16);
+  check_bool "flagged as a miss" false lo.Rta.schedulable;
+  check_bool "not schedulable" false report.Rta.all_schedulable
+
+let test_blocking_term () =
+  (* a non-preemptive low-priority task blocks the high one *)
+  let mixed =
+    spec_of
+      [
+        Task.make ~name:"hi" ~wcet:2 ~deadline:6 ~period:10 ~mode:Task.Preemptive ();
+        Task.make ~name:"lo" ~wcet:5 ~deadline:20 ~period:20 () (* NP *);
+      ]
+  in
+  let report = analyze_exn ~policy:Rta.Deadline_monotonic mixed in
+  let hi = List.hd report.Rta.tasks in
+  check_string "hi first" "hi" hi.Rta.task;
+  check_int "blocked by the np task" 5 hi.Rta.blocking;
+  check_bool "R(hi) includes blocking" true (hi.Rta.response_time = Some 7);
+  check_bool "hi misses because of blocking" false hi.Rta.schedulable;
+  check_bool "whole set flagged" false report.Rta.all_schedulable
+
+let test_rejects_relations_and_phases () =
+  let with_prec =
+    Spec.make ~name:"p"
+      ~tasks:
+        [
+          Task.make ~name:"a" ~wcet:1 ~deadline:5 ~period:10 ();
+          Task.make ~name:"b" ~wcet:1 ~deadline:5 ~period:10 ();
+        ]
+      ~precedences:[ ("a", "b") ]
+      ()
+  in
+  check_bool "relations rejected" true (Result.is_error (Rta.analyze with_prec));
+  let with_phase =
+    spec_of [ Task.make ~name:"a" ~phase:3 ~wcet:1 ~deadline:5 ~period:10 () ]
+  in
+  check_bool "phases rejected" true (Result.is_error (Rta.analyze with_phase))
+
+let test_pp_renders () =
+  let report = analyze_exn classic in
+  let s = Format.asprintf "%a" Rta.pp report in
+  check_bool "mentions the bound" true (String.length s > 40)
+
+(* Soundness against the simulator: when RTA says every preemptive,
+   independent, synchronous task meets its deadline, the DM simulation
+   agrees. *)
+let preemptive_spec_gen =
+  let open QCheck.Gen in
+  let task i =
+    let* period = oneofl [ 8; 12; 16; 24 ] in
+    let* wcet = int_range 1 3 in
+    return
+      (Task.make
+         ~name:(Printf.sprintf "t%d" i)
+         ~wcet ~deadline:period ~period ~mode:Task.Preemptive ())
+  in
+  let* n = int_range 1 4 in
+  let* tasks =
+    List.fold_right
+      (fun i acc ->
+        let* rest = acc in
+        let* t = task i in
+        return (t :: rest))
+      (List.init n Fun.id) (return [])
+  in
+  return (spec_of tasks)
+
+let prop_rta_sound_vs_simulation =
+  qcheck ~count:80 "RTA-schedulable implies DM-simulation feasible"
+    (QCheck.make ~print:(Format.asprintf "%a" Spec.pp) preemptive_spec_gen)
+    (fun spec ->
+      QCheck.assume (Ezrt_spec.Validate.is_valid spec);
+      match Rta.analyze ~policy:Rta.Deadline_monotonic spec with
+      | Error _ -> true
+      | Ok report ->
+        if not report.Rta.all_schedulable then true
+        else (Sim.simulate Sim.Dm spec).Sim.feasible)
+
+let suite =
+  [
+    case "classic response times" test_classic_response_times;
+    case "utilization bound" test_utilization_bound;
+    case "response past the deadline detected" test_miss_detected;
+    case "np blocking term" test_blocking_term;
+    case "relations and phases rejected" test_rejects_relations_and_phases;
+    case "report renders" test_pp_renders;
+    prop_rta_sound_vs_simulation;
+  ]

@@ -1,0 +1,47 @@
+open Ezrt_tpn
+module Schedule = Ezrt_sched.Schedule
+open Test_util
+
+let test_of_actions_accumulates () =
+  let s = Schedule.of_actions [ (0, 2); (1, 0); (0, 3) ] in
+  (match s.Schedule.entries with
+  | [ e0; e1; e2 ] ->
+    check_int "t0 at 2" 2 e0.Schedule.time;
+    check_int "t1 at 2" 2 e1.Schedule.time;
+    check_int "t0 again at 5" 5 e2.Schedule.time;
+    check_int "delay kept" 3 e2.Schedule.delay
+  | _ -> Alcotest.fail "expected three entries");
+  check_int "length" 3 (Schedule.length s);
+  check_int "makespan" 5 (Schedule.makespan s)
+
+let test_empty () =
+  let s = Schedule.of_actions [] in
+  check_int "length" 0 (Schedule.length s);
+  check_int "makespan" 0 (Schedule.makespan s)
+
+let test_replay_valid () =
+  let net = sequential_net () in
+  let s = Schedule.of_actions [ (0, 2); (1, 0) ] in
+  let final = Schedule.replay net s in
+  check_int "token reached the sink" 1 (State.tokens final 2)
+
+let test_replay_rejects_illegal () =
+  let net = sequential_net () in
+  (* t1 before t0 is not enabled *)
+  let bad = Schedule.of_actions [ (1, 0) ] in
+  (match Schedule.replay net bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection");
+  (* firing time outside the static interval *)
+  let late = Schedule.of_actions [ (0, 9) ] in
+  match Schedule.replay net late with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of late firing"
+
+let suite =
+  [
+    case "of_actions accumulates time" test_of_actions_accumulates;
+    case "empty schedule" test_empty;
+    case "replay follows the semantics" test_replay_valid;
+    case "replay rejects illegal schedules" test_replay_rejects_illegal;
+  ]

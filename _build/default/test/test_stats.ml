@@ -1,0 +1,68 @@
+module Stats = Ezrt_spec.Stats
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let test_mine_pump_stats () =
+  let s = Stats.compute Case_studies.mine_pump in
+  check_int "hyperperiod" 30000 s.Stats.hyperperiod;
+  check_int "instances" 782 s.Stats.total_instances;
+  check_int "busy" 9135 s.Stats.busy_time;
+  check_bool "utilization" true (abs_float (s.Stats.total_utilization -. 0.3045) < 1e-4);
+  check_bool "non-harmonic (80 does not divide 500)" false s.Stats.harmonic;
+  (* PMC: c=10, d=20, p=80 -> density 0.5, laxity 10 *)
+  let pmc = List.find (fun r -> r.Stats.name = "PMC") s.Stats.tasks in
+  check_bool "PMC density" true (abs_float (pmc.Stats.density -. 0.5) < 1e-9);
+  check_int "PMC laxity" 10 pmc.Stats.laxity;
+  check_int "PMC instances" 375 pmc.Stats.instances;
+  check_int "min laxity is PMC's" 10 s.Stats.min_laxity
+
+let test_harmonic_detection () =
+  let spec =
+    Spec.make ~name:"h"
+      ~tasks:
+        [
+          Task.make ~name:"a" ~wcet:1 ~deadline:10 ~period:10 ();
+          Task.make ~name:"b" ~wcet:1 ~deadline:20 ~period:20 ();
+          Task.make ~name:"c" ~wcet:1 ~deadline:40 ~period:40 ();
+        ]
+      ()
+  in
+  let s = Stats.compute spec in
+  check_bool "harmonic chain" true s.Stats.harmonic;
+  check_bool "period classes" true
+    (s.Stats.period_classes = [ (10, 1); (20, 1); (40, 1) ])
+
+let test_density_exceeds_utilization () =
+  let spec =
+    Spec.make ~name:"d"
+      ~tasks:[ Task.make ~name:"a" ~wcet:2 ~deadline:4 ~period:20 () ]
+      ()
+  in
+  let s = Stats.compute spec in
+  check_bool "density 0.5 > util 0.1" true
+    (s.Stats.total_density > s.Stats.total_utilization +. 0.39)
+
+let test_pp () =
+  let s = Stats.compute Case_studies.flight_control in
+  check_bool "renders" true
+    (String.length (Format.asprintf "%a" Stats.pp s) > 100)
+
+let prop_busy_consistent =
+  qcheck "busy time = sum of instance wcets" arbitrary_spec (fun spec ->
+      let s = Stats.compute spec in
+      s.Stats.busy_time
+      = List.fold_left
+          (fun acc (t : Task.t) ->
+            acc + (Task.instances_in t s.Stats.hyperperiod * t.Task.wcet))
+          0 spec.Spec.tasks)
+
+let suite =
+  [
+    case "mine pump statistics" test_mine_pump_stats;
+    case "harmonic detection" test_harmonic_detection;
+    case "density vs utilization" test_density_exceeds_utilization;
+    case "report renders" test_pp;
+    prop_busy_consistent;
+  ]

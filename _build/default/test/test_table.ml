@@ -1,0 +1,83 @@
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Timeline = Ezrt_sched.Timeline
+module Table = Ezrt_sched.Table
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let table_of spec =
+  let model = Translate.translate spec in
+  match Search.find_schedule model with
+  | Ok schedule, _ -> (model, Table.of_schedule model schedule)
+  | Error f, _ -> Alcotest.failf "infeasible: %s" (Search.failure_to_string f)
+
+let test_rows_sorted_and_flagged () =
+  let _, items = table_of Case_studies.fig8_preemptive in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      check_bool "rows by start time" true (a.Table.start <= b.Table.start);
+      sorted rest
+    | [ _ ] | [] -> ()
+  in
+  sorted items;
+  check_bool "has resume rows" true
+    (List.exists (fun i -> i.Table.resumed) items);
+  check_bool "first row is a start" true
+    (not (List.hd items).Table.resumed)
+
+let contains_substring ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_fig8_comment_vocabulary () =
+  let model, items = table_of Case_studies.fig8_preemptive in
+  let comments = List.map (Table.row_comment model) items in
+  check_bool "starts" true
+    (List.exists (fun c -> Filename.check_suffix c "starts") comments);
+  check_bool "preempts" true
+    (List.exists (contains_substring ~needle:"preempts") comments);
+  check_bool "resumes" true
+    (List.exists (fun c -> Filename.check_suffix c "resumes") comments)
+
+let test_fig8_short_names () =
+  let model, items = table_of Case_studies.fig8_preemptive in
+  (* TaskA#0 renders as A1 (Fig 8 numbering) *)
+  let first = List.hd items in
+  let comment = Table.row_comment model first in
+  check_bool "short name with 1-based instance" true
+    (String.length comment >= 2 && comment.[1] = '1')
+
+let test_np_table_has_no_resumes () =
+  let _, items = table_of Case_studies.mine_pump in
+  check_int "one row per instance" 782 (List.length items);
+  check_bool "no resume rows" true
+    (List.for_all (fun i -> not i.Table.resumed) items)
+
+let test_preempts_field_consistency () =
+  let _, items = table_of Case_studies.fig8_preemptive in
+  List.iter
+    (fun item ->
+      match item.Table.preempts with
+      | None -> ()
+      | Some (task, instance) ->
+        (* the preempted instance must resume later *)
+        check_bool "victim resumes later" true
+          (List.exists
+             (fun other ->
+               other.Table.task = task && other.Table.instance = instance
+               && other.Table.resumed
+               && other.Table.start > item.Table.start)
+             items);
+        check_bool "a preempting row is not itself a resume" true
+          (not item.Table.resumed))
+    items
+
+let suite =
+  [
+    case "rows sorted with resume flags" test_rows_sorted_and_flagged;
+    case "Fig 8 comment vocabulary" test_fig8_comment_vocabulary;
+    case "Fig 8 short names" test_fig8_short_names;
+    case "non-preemptive tables have no resumes" test_np_table_has_no_resumes;
+    case "preempts field consistency" test_preempts_field_consistency;
+  ]

@@ -1,0 +1,118 @@
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Schedule = Ezrt_sched.Schedule
+module Timeline = Ezrt_sched.Timeline
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let timeline_of spec =
+  let model = Translate.translate spec in
+  match Search.find_schedule model with
+  | Ok schedule, _ -> (model, Timeline.of_schedule model schedule)
+  | Error f, _ -> Alcotest.failf "infeasible: %s" (Search.failure_to_string f)
+
+let test_quickstart_order () =
+  let model, segs = timeline_of Case_studies.quickstart in
+  check_int "three segments" 3 (List.length segs);
+  let by_task i =
+    List.find (fun (s : Timeline.segment) -> s.Timeline.task = i) segs
+  in
+  let sample = by_task 0 and filter = by_task 1 and actuate = by_task 2 in
+  check_bool "precedence order" true
+    (sample.Timeline.finish <= filter.Timeline.start
+     && filter.Timeline.finish <= actuate.Timeline.start);
+  check_int "sample runs its wcet" 2 (Timeline.duration sample);
+  check_bool "np segments are not resumed" true
+    (List.for_all (fun (s : Timeline.segment) -> not s.Timeline.resumed) segs);
+  ignore model
+
+let test_busy_time_is_total_work () =
+  let model, segs = timeline_of Case_studies.mine_pump in
+  let expected =
+    Array.to_list model.Translate.tasks
+    |> List.mapi (fun i (t : Task.t) ->
+           model.Translate.instance_counts.(i) * t.Task.wcet)
+    |> List.fold_left ( + ) 0
+  in
+  check_int "busy = sum of instance wcets" expected (Timeline.busy_time segs);
+  check_int "idle is the rest" (30000 - expected)
+    (Timeline.idle_time ~horizon:30000 segs)
+
+let test_preemptive_merging () =
+  let _, segs = timeline_of Case_studies.fig8_preemptive in
+  (* every segment of a preemptive task merges contiguous units: no two
+     consecutive segments of the same instance may touch *)
+  let by_instance = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Timeline.segment) ->
+      let key = (s.Timeline.task, s.Timeline.instance) in
+      Hashtbl.replace by_instance key
+        (s :: Option.value (Hashtbl.find_opt by_instance key) ~default:[]))
+    segs;
+  Hashtbl.iter
+    (fun _ runs ->
+      let runs =
+        List.sort (fun (a : Timeline.segment) b -> compare a.Timeline.start b.Timeline.start) runs
+      in
+      List.iteri
+        (fun i (s : Timeline.segment) ->
+          check_bool "resume flag on later parts" true
+            (s.Timeline.resumed = (i > 0)))
+        runs;
+      let rec gaps = function
+        | (a : Timeline.segment) :: (b :: _ as rest) ->
+          check_bool "maximal segments" true (b.Timeline.start > a.Timeline.finish);
+          gaps rest
+        | [ _ ] | [] -> ()
+      in
+      gaps runs)
+    by_instance
+
+let test_instances_numbered_in_order () =
+  let _, segs = timeline_of Case_studies.mine_pump in
+  let firsts = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Timeline.segment) ->
+      let key = (s.Timeline.task, s.Timeline.instance) in
+      if not (Hashtbl.mem firsts key) then
+        Hashtbl.replace firsts key s.Timeline.start)
+    segs;
+  Hashtbl.iter
+    (fun (task, instance) start ->
+      if instance > 0 then
+        match Hashtbl.find_opt firsts (task, instance - 1) with
+        | Some prev -> check_bool "later instance starts later" true (prev < start)
+        | None -> Alcotest.fail "missing previous instance")
+    firsts
+
+let test_energy_accounting () =
+  let spec =
+    Spec.make ~name:"energy"
+      ~tasks:
+        [
+          Task.make ~name:"a" ~energy:5 ~wcet:1 ~deadline:10 ~period:10 ();
+          Task.make ~name:"b" ~energy:3 ~wcet:1 ~deadline:20 ~period:20 ();
+        ]
+      ()
+  in
+  let model, segs = timeline_of spec in
+  (* hyper-period 20: a runs twice, b once *)
+  check_int "total energy" ((2 * 5) + 3) (Timeline.energy_of model segs);
+  check_bool "per-task breakdown" true
+    (Timeline.energy_by_task model segs = [ ("a", 10); ("b", 3) ])
+
+let test_energy_zero_by_default () =
+  let model, segs = timeline_of Case_studies.quickstart in
+  check_int "no energy annotations" 0 (Timeline.energy_of model segs)
+
+let suite =
+  [
+    case "quickstart precedence order" test_quickstart_order;
+    case "energy accounting" test_energy_accounting;
+    case "energy defaults to zero" test_energy_zero_by_default;
+    slow_case "busy time equals the workload" test_busy_time_is_total_work;
+    case "preemptive segments merge maximally" test_preemptive_merging;
+    slow_case "instances numbered chronologically" test_instances_numbered_in_order;
+  ]

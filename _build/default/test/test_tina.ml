@@ -1,0 +1,137 @@
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let net_equal (a : Pnet.t) (b : Pnet.t) =
+  a.Pnet.place_names = b.Pnet.place_names
+  && Array.for_all2
+       (fun (x : Pnet.transition) (y : Pnet.transition) ->
+         x.Pnet.t_name = y.Pnet.t_name
+         && Time_interval.equal x.Pnet.interval y.Pnet.interval
+         && x.Pnet.priority = y.Pnet.priority)
+       a.Pnet.transitions b.Pnet.transitions
+  && a.Pnet.pre = b.Pnet.pre && a.Pnet.post = b.Pnet.post
+  && a.Pnet.m0 = b.Pnet.m0
+
+let roundtrip net =
+  match Tina.of_string (Tina.to_string net) with
+  | Ok net' -> net'
+  | Error e -> Alcotest.failf "roundtrip: %s" (Tina.error_to_string e)
+
+let test_writer_format () =
+  let text = Tina.to_string (sequential_net ()) in
+  check_bool "net line" true
+    (String.length text > 4 && String.sub text 0 4 = "net ");
+  List.iter
+    (fun needle ->
+      let rec contains i =
+        i + String.length needle <= String.length text
+        && (String.sub text i (String.length needle) = needle || contains (i + 1))
+      in
+      check_bool needle true (contains 0))
+    [ "tr t0 [2,5] p0 -> p1"; "tr t1 [0,0] p1 -> p2"; "pl p0 (1)"; "pl p1\n" ]
+
+let test_roundtrip_small () =
+  check_bool "sequential" true
+    (net_equal (sequential_net ()) (roundtrip (sequential_net ())));
+  check_bool "conflict" true
+    (net_equal (conflict_net ()) (roundtrip (conflict_net ())))
+
+let test_roundtrip_case_studies () =
+  List.iter
+    (fun (name, spec) ->
+      if name <> "mine-pump" then begin
+        let net = (Translate.translate spec).Translate.net in
+        (* priorities survive through the # priority comments *)
+        check_bool (name ^ " roundtrips") true (net_equal net (roundtrip net))
+      end)
+    Case_studies.all
+
+let test_weights_and_unbounded () =
+  let b = Pnet.Builder.create "features" in
+  let p = Pnet.Builder.add_place b ~tokens:3 "p" in
+  let q = Pnet.Builder.add_place b "q" in
+  let t = Pnet.Builder.add_transition b "t" (Time_interval.make_unbounded 2) in
+  Pnet.Builder.arc_pt b p t ~weight:2;
+  Pnet.Builder.arc_tp b t q ~weight:5;
+  let net = Pnet.Builder.build b in
+  let text = Tina.to_string net in
+  let rec contains needle i =
+    i + String.length needle <= String.length text
+    && (String.sub text i (String.length needle) = needle
+       || contains needle (i + 1))
+  in
+  check_bool "unbounded rendered" true (contains "[2,w[" 0);
+  check_bool "weight rendered" true (contains "p*2" 0);
+  check_bool "roundtrips" true (net_equal net (roundtrip net))
+
+let test_parse_tina_example () =
+  (* a net as TINA itself writes it, with implicit place declaration *)
+  let text =
+    "net example\ntr t0 [0,4] p0 -> p1 p2*2\ntr t1 [1,w[ p1 -> p0\npl p0 (2)\n"
+  in
+  match Tina.of_string text with
+  | Error e -> Alcotest.failf "parse: %s" (Tina.error_to_string e)
+  | Ok net ->
+    check_string "name" "example" net.Pnet.net_name;
+    check_int "three places (p2 implicit)" 3 (Pnet.place_count net);
+    check_int "marking" 2 net.Pnet.m0.(Pnet.find_place net "p0");
+    check_bool "weight parsed" true
+      (Array.exists
+         (fun (p, w) -> p = Pnet.find_place net "p2" && w = 2)
+         net.Pnet.post.(Pnet.find_transition net "t0"));
+    check_bool "unbounded parsed" true
+      (Time_interval.lft (Pnet.interval net (Pnet.find_transition net "t1"))
+       = Time_interval.Infinity)
+
+let test_comments_ignored () =
+  let text = "net c\n# a remark\ntr t0 [0,0] p0 -> p1\npl p0 (1)\n" in
+  match Tina.of_string text with
+  | Ok net -> check_int "one transition" 1 (Pnet.transition_count net)
+  | Error e -> Alcotest.failf "parse: %s" (Tina.error_to_string e)
+
+let expect_error text =
+  match Tina.of_string text with
+  | Ok _ -> Alcotest.failf "expected an error for %S" text
+  | Error e ->
+    check_bool "message" true (String.length (Tina.error_to_string e) > 0)
+
+let test_errors () =
+  expect_error "tr t0 0,4 p0 -> p1";
+  expect_error "tr t0 [0,4] p0 p1";  (* no arrow *)
+  expect_error "tr t0 [4,2] p0 -> p1";  (* inverted interval *)
+  expect_error "pl p0 (x)";
+  expect_error "pl p0 (-1)";
+  expect_error "frobnicate yes";
+  expect_error "tr t0 [0,4] p0*0 -> p1"
+
+let test_file_io () =
+  let path = Filename.temp_file "ezrt" ".net" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let net = conflict_net () in
+      Tina.save_file path net;
+      match Tina.load_file path with
+      | Ok net' -> check_bool "file roundtrip" true (net_equal net net')
+      | Error e -> Alcotest.failf "load: %s" (Tina.error_to_string e))
+
+let prop_translated_roundtrip =
+  qcheck ~count:40 "translated nets roundtrip through .net" arbitrary_spec
+    (fun spec ->
+      let net = (Translate.translate spec).Translate.net in
+      net_equal net (roundtrip net))
+
+let suite =
+  [
+    case "writer format" test_writer_format;
+    case "small nets roundtrip" test_roundtrip_small;
+    case "case-study nets roundtrip" test_roundtrip_case_studies;
+    case "weights and unbounded intervals" test_weights_and_unbounded;
+    case "parses TINA-style input" test_parse_tina_example;
+    case "comments ignored" test_comments_ignored;
+    case "malformed input rejected" test_errors;
+    case "file io" test_file_io;
+    prop_translated_roundtrip;
+  ]

@@ -1,0 +1,155 @@
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+module Meaning = Ezrt_blocks.Meaning
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Message = Ezrt_spec.Message
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let test_mine_pump_shape () =
+  let model = Translate.translate Case_studies.mine_pump in
+  check_int "horizon" 30000 model.Translate.horizon;
+  check_int "instance total" 782
+    (Array.fold_left ( + ) 0 model.Translate.instance_counts);
+  (* 10 np tasks x (9 task places + pst) + pproc + pstart + pend
+     + the cycle watchdog's pcyc/pcm *)
+  check_int "places" 105 (Pnet.place_count model.Translate.net);
+  (* 10 x (tph ta tr tg tc tf td tpc) + tstart + tend + tcyc *)
+  check_int "transitions" 83 (Pnet.transition_count model.Translate.net);
+  check_int "PMC has 375 instances" 375 model.Translate.instance_counts.(0);
+  (* arrivals N + (tr tg tc tf tpc) N each + fork + join *)
+  check_int "minimum firings" (782 * 6 + 2) (Translate.minimum_firings model);
+  check_int "minimum states" (782 * 6 + 3) (Translate.minimum_states model)
+
+let test_meanings_cover_all_transitions () =
+  let model = Translate.translate Case_studies.fig8_preemptive in
+  (* every transition has a meaning that renders *)
+  Array.iteri
+    (fun tid meaning ->
+      check_bool
+        (Printf.sprintf "meaning of %s"
+           (Pnet.transition_name model.Translate.net tid))
+        true
+        (String.length (Meaning.to_string meaning) > 0))
+    model.Translate.meanings;
+  (* exactly one Start and one End *)
+  let count p = Array.to_list model.Translate.meanings |> List.filter p |> List.length in
+  check_int "one start" 1 (count (fun m -> m = Meaning.Start));
+  check_int "one end" 1 (count (fun m -> m = Meaning.End))
+
+let test_fig3_precedence_structure () =
+  let model = Translate.translate Case_studies.fig3_precedence in
+  let net = model.Translate.net in
+  (* the figure's nodes: per task pst pwr pwg pwc pwf pf pwd pdm pe (9)
+     + pwa (N=1: absent) + shared pproc pstart pend pcyc pcm
+     + pwp pprec *)
+  check_int "places" (9 * 2 + 5 + 2) (Pnet.place_count net);
+  check_bool "tprec exists" true
+    (Pnet.find_transition_opt net "tprec_T1_T2" <> None);
+  (* T2's release is gated by the precedence place *)
+  let tr2 = Pnet.find_transition net "tr_T2" in
+  let pprec = Pnet.find_place net "pprec_T1_T2" in
+  check_bool "tr_T2 consumes pprec" true
+    (Array.exists (fun (p, _) -> p = pprec) net.Pnet.pre.(tr2))
+
+let test_fig4_exclusion_structure () =
+  let model = Translate.translate Case_studies.fig4_exclusion in
+  let net = model.Translate.net in
+  let slot = Pnet.find_place net "pexcl_T0_T2" in
+  check_int "slot marked" 1 net.Pnet.m0.(slot);
+  (* preemptive tasks grab the slot in their te stage *)
+  let te0 = Pnet.find_transition net "te_T0" in
+  check_bool "te_T0 consumes the slot" true
+    (Array.exists (fun (p, _) -> p = slot) net.Pnet.pre.(te0));
+  let tf2 = Pnet.find_transition net "tf_T2" in
+  check_bool "tf_T2 returns the slot" true
+    (Array.exists (fun (p, _) -> p = slot) net.Pnet.post.(tf2));
+  (* unit arcs carry the WCET weight *)
+  let tr0 = Pnet.find_transition net "tr_T0" in
+  ignore tr0;
+  let te2 = Pnet.find_transition net "te_T2" in
+  let pwu2 = Pnet.find_place net "pwu_T2" in
+  check_bool "te_T2 banks 20 units" true
+    (Array.exists (fun (p, w) -> p = pwu2 && w = 20) net.Pnet.post.(te2))
+
+let test_message_translation () =
+  let tasks =
+    [
+      Task.make ~name:"prod" ~wcet:2 ~deadline:20 ~period:40 ();
+      Task.make ~name:"cons" ~wcet:2 ~deadline:40 ~period:40 ();
+    ]
+  in
+  let messages =
+    [ Message.make ~name:"data" ~sender:"prod" ~receiver:"cons" ~comm_time:3 () ]
+  in
+  let spec = Spec.make ~name:"msg" ~tasks ~messages () in
+  let model = Translate.translate spec in
+  let net = model.Translate.net in
+  check_bool "bus place" true (Pnet.find_place_opt net "pbus_bus0" <> None);
+  check_bool "grant transition" true
+    (Pnet.find_transition_opt net "tsm_data" <> None);
+  check_bool "bus among resources" true
+    (List.length model.Translate.resource_places = 2)
+
+let test_final_and_dead_predicates () =
+  let model = Translate.translate Case_studies.quickstart in
+  let s0 = State.initial model.Translate.net in
+  check_bool "initial not final" false (Translate.is_final model s0);
+  check_bool "initial not dead" false (Translate.is_dead model s0)
+
+let test_invalid_spec_rejected () =
+  let bad = Spec.make ~name:"bad" ~tasks:[] () in
+  (match Translate.translate bad with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure");
+  let zero_wcet =
+    Spec.make ~name:"zero"
+      ~tasks:[ Task.make ~name:"z" ~wcet:0 ~deadline:5 ~period:10 () ]
+      ()
+  in
+  match Translate.translate zero_wcet with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for wcet 0"
+
+let test_task_index () =
+  let model = Translate.translate Case_studies.mine_pump in
+  check_int "PMC first" 0 (Translate.task_index model "PMC");
+  check_int "SDL last" 9 (Translate.task_index model "SDL");
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Translate.task_index model "nope"))
+
+let test_required_firings_preemptive () =
+  let model = Translate.translate Case_studies.fig4_exclusion in
+  let firings = Translate.required_firings model in
+  let net = model.Translate.net in
+  let expect name n = check_int name n firings.(Pnet.find_transition net name) in
+  (* one instance per task in the 250 hyper-period *)
+  expect "tr_T0" 1;
+  expect "te_T0" 1;
+  expect "tg_T0" 10;   (* one per unit *)
+  expect "tc_T2" 20;
+  expect "td_T0" 0;
+  expect "tstart" 1
+
+let prop_translate_total =
+  qcheck ~count:60 "translation succeeds on generated specs" arbitrary_spec
+    (fun spec ->
+      let model = Translate.translate spec in
+      Pnet.transition_count model.Translate.net
+      = Array.length model.Translate.meanings
+      && Translate.minimum_firings model > 0)
+
+let suite =
+  [
+    case "mine pump model shape" test_mine_pump_shape;
+    case "meanings cover every transition" test_meanings_cover_all_transitions;
+    case "fig3 precedence structure" test_fig3_precedence_structure;
+    case "fig4 exclusion structure" test_fig4_exclusion_structure;
+    case "message translation" test_message_translation;
+    case "final/dead predicates" test_final_and_dead_predicates;
+    case "invalid specs rejected" test_invalid_spec_rejected;
+    case "task index" test_task_index;
+    case "required firings (preemptive)" test_required_firings_preemptive;
+    prop_translate_total;
+  ]

@@ -1,0 +1,172 @@
+(* Shared helpers for the test suite. *)
+
+open Ezrt_tpn
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let qcheck ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen law)
+
+(* A tiny net: two sequential transitions
+   p0 --t0[2,5]--> p1 --t1[0,0]--> p2. *)
+let sequential_net () =
+  let b = Pnet.Builder.create "sequential" in
+  let p0 = Pnet.Builder.add_place b ~tokens:1 "p0" in
+  let p1 = Pnet.Builder.add_place b "p1" in
+  let p2 = Pnet.Builder.add_place b "p2" in
+  let t0 = Pnet.Builder.add_transition b "t0" (Time_interval.make 2 5) in
+  let t1 = Pnet.Builder.add_transition b "t1" Time_interval.zero in
+  Pnet.Builder.arc_pt b p0 t0;
+  Pnet.Builder.arc_tp b t0 p1;
+  Pnet.Builder.arc_pt b p1 t1;
+  Pnet.Builder.arc_tp b t1 p2;
+  Pnet.Builder.build b
+
+(* A conflict net: one token, two competing transitions with different
+   intervals.  p0 --t0[1,3]--> p1 and p0 --t1[2,7]--> p2. *)
+let conflict_net () =
+  let b = Pnet.Builder.create "conflict" in
+  let p0 = Pnet.Builder.add_place b ~tokens:1 "p0" in
+  let p1 = Pnet.Builder.add_place b "p1" in
+  let p2 = Pnet.Builder.add_place b "p2" in
+  let t0 = Pnet.Builder.add_transition b "t0" (Time_interval.make 1 3) in
+  let t1 = Pnet.Builder.add_transition b "t1" (Time_interval.make 2 7) in
+  Pnet.Builder.arc_pt b p0 t0;
+  Pnet.Builder.arc_tp b t0 p1;
+  Pnet.Builder.arc_pt b p0 t1;
+  Pnet.Builder.arc_tp b t1 p2;
+  Pnet.Builder.build b
+
+(* Random small live nets for property tests: a ring of places with
+   transitions moving a token around, plus random extra arcs would risk
+   deadlocks, so keep the ring pure and vary sizes/intervals. *)
+let ring_net n_places seed =
+  let b = Pnet.Builder.create (Printf.sprintf "ring%d-%d" n_places seed) in
+  let places =
+    Array.init n_places (fun i ->
+        Pnet.Builder.add_place b
+          ~tokens:(if i = 0 then 1 else 0)
+          (Printf.sprintf "p%d" i))
+  in
+  Array.iteri
+    (fun i _ ->
+      let eft = (seed + i) mod 4 in
+      let lft = eft + ((seed * (i + 3)) mod 5) in
+      let t =
+        Pnet.Builder.add_transition b
+          (Printf.sprintf "t%d" i)
+          (Time_interval.make eft lft)
+      in
+      Pnet.Builder.arc_pt b places.(i) t;
+      Pnet.Builder.arc_tp b t places.((i + 1) mod n_places))
+    places;
+  Pnet.Builder.build b
+
+(* Specification generator for property tests: task sets that are
+   always well-formed (c <= d <= p, r + c <= d) with harmonic periods
+   and bounded utilization, so that a reasonable fraction is
+   schedulable while malformed inputs are impossible. *)
+let spec_gen =
+  let open QCheck.Gen in
+  let task_gen i =
+    let* period_pow = int_range 0 2 in
+    let period = 10 * (1 lsl period_pow) in
+    (* wcet <= 2 with period >= 10 keeps utilization of up to 4 tasks
+       below 1.0, so generated specs always validate *)
+    let* wcet = int_range 1 2 in
+    let* slack = int_range 0 (period - wcet) in
+    let deadline = wcet + slack in
+    let* release = int_range 0 (max 0 (deadline - wcet)) in
+    let* phase = int_range 0 3 in
+    let* preemptive = bool in
+    return
+      (Ezrt_spec.Task.make
+         ~name:(Printf.sprintf "t%d" i)
+         ~phase ~release ~wcet ~deadline ~period
+         ~mode:
+           (if preemptive then Ezrt_spec.Task.Preemptive
+            else Ezrt_spec.Task.Non_preemptive)
+         ())
+  in
+  let* n = int_range 1 4 in
+  let* tasks =
+    List.fold_right
+      (fun i acc ->
+        let* rest = acc in
+        let* t = task_gen i in
+        return (t :: rest))
+      (List.init n Fun.id) (return [])
+  in
+  (* relations among equal-period pairs; precedence edges only go from
+     lower to higher index, so they are acyclic by construction *)
+  let equal_period_pairs =
+    List.concat_map
+      (fun (i, (a : Ezrt_spec.Task.t)) ->
+        List.filter_map
+          (fun (j, (b : Ezrt_spec.Task.t)) ->
+            if i < j && a.Ezrt_spec.Task.period = b.Ezrt_spec.Task.period then
+              Some (a.Ezrt_spec.Task.id, b.Ezrt_spec.Task.id)
+            else None)
+          (List.mapi (fun j t -> (j, t)) tasks))
+      (List.mapi (fun i t -> (i, t)) tasks)
+  in
+  let pick_subset pairs =
+    List.fold_right
+      (fun pair acc ->
+        let* rest = acc in
+        let* keep = frequency [ (1, return true); (3, return false) ] in
+        return (if keep then pair :: rest else rest))
+      pairs (return [])
+  in
+  let* precedences = pick_subset equal_period_pairs in
+  let* exclusions =
+    (* exclusion works across periods: draw from all index pairs *)
+    let all_pairs =
+      List.concat_map
+        (fun (i, (a : Ezrt_spec.Task.t)) ->
+          List.filter_map
+            (fun (j, (b : Ezrt_spec.Task.t)) ->
+              if i < j then Some (a.Ezrt_spec.Task.id, b.Ezrt_spec.Task.id)
+              else None)
+            (List.mapi (fun j t -> (j, t)) tasks))
+        (List.mapi (fun i t -> (i, t)) tasks)
+    in
+    pick_subset all_pairs
+  in
+  (* avoid the redundant precedence+exclusion warning combination *)
+  let exclusions =
+    List.filter (fun pair -> not (List.mem pair precedences)) exclusions
+  in
+  let* messages =
+    match equal_period_pairs with
+    | [] -> return []
+    | pairs ->
+      let* want = frequency [ (1, return true); (4, return false) ] in
+      if not want then return []
+      else
+        let* idx = int_range 0 (List.length pairs - 1) in
+        let sender, receiver = List.nth pairs idx in
+        (* a message also orders the pair; drop clashing relations *)
+        let* comm_time = int_range 0 2 in
+        return
+          [ Ezrt_spec.Message.make ~name:"m0" ~sender ~receiver ~comm_time () ]
+  in
+  let precedences, exclusions =
+    match messages with
+    | [] -> (precedences, exclusions)
+    | m :: _ ->
+      let pair = (m.Ezrt_spec.Message.sender, m.Ezrt_spec.Message.receiver) in
+      ( List.filter (fun p -> p <> pair) precedences,
+        List.filter (fun p -> p <> pair) exclusions )
+  in
+  return
+    (Ezrt_spec.Spec.make ~name:"random" ~tasks ~precedences ~exclusions
+       ~messages ())
+
+let arbitrary_spec =
+  QCheck.make ~print:(fun s -> Format.asprintf "%a" Ezrt_spec.Spec.pp s) spec_gen

@@ -1,0 +1,226 @@
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Message = Ezrt_spec.Message
+module Validate = Ezrt_spec.Validate
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let ok_task ?id ?(name = "t") ?mode ?phase ?release ?processor () =
+  Task.make ?id ~name ?mode ?phase ?release ?processor ~wcet:1 ~deadline:5
+    ~period:10 ()
+
+let errors spec = (Validate.check spec).Validate.errors
+let warnings spec = (Validate.check spec).Validate.warnings
+
+let has_error pred spec = List.exists pred (errors spec)
+
+let test_case_studies_valid () =
+  List.iter
+    (fun (name, spec) ->
+      check_bool (name ^ " valid") true (Validate.is_valid spec))
+    Case_studies.all
+
+let test_no_tasks () =
+  check_bool "no tasks" true
+    (has_error (function Validate.No_tasks -> true | _ -> false)
+       (Spec.make ~name:"e" ~tasks:[] ()))
+
+let test_duplicate_ids () =
+  let spec =
+    Spec.make ~name:"d"
+      ~tasks:[ ok_task ~id:"x" ~name:"a" (); ok_task ~id:"x" ~name:"b" () ]
+      ()
+  in
+  check_bool "duplicate id" true
+    (has_error (function Validate.Duplicate_task_id "x" -> true | _ -> false)
+       spec)
+
+let test_duplicate_names () =
+  let spec =
+    Spec.make ~name:"d"
+      ~tasks:[ ok_task ~id:"x" (); ok_task ~id:"y" () ]
+      ()
+  in
+  check_bool "duplicate name" true
+    (has_error
+       (function Validate.Duplicate_task_name "t" -> true | _ -> false)
+       spec)
+
+let bad_timing_spec task = Spec.make ~name:"b" ~tasks:[ task ] ()
+
+let test_bad_timings () =
+  let violates what task =
+    check_bool what true
+      (has_error
+         (function Validate.Bad_timing (_, w) -> w = what | _ -> false)
+         (bad_timing_spec task))
+  in
+  violates "c <= d" (Task.make ~name:"t" ~wcet:6 ~deadline:5 ~period:10 ());
+  violates "d <= p" (Task.make ~name:"t" ~wcet:1 ~deadline:11 ~period:10 ());
+  violates "r + c <= d"
+    (Task.make ~name:"t" ~release:5 ~wcet:1 ~deadline:5 ~period:10 ());
+  violates "ph >= 0"
+    (Task.make ~name:"t" ~phase:(-1) ~wcet:1 ~deadline:5 ~period:10 ());
+  violates "p >= 1" (Task.make ~name:"t" ~wcet:0 ~deadline:0 ~period:0 ())
+
+let test_unknown_processor () =
+  let spec =
+    Spec.make ~name:"p" ~tasks:[ ok_task ~processor:"dsp7" () ] ()
+  in
+  check_bool "unknown processor" true
+    (has_error
+       (function Validate.Unknown_processor (_, "dsp7") -> true | _ -> false)
+       spec)
+
+let test_multi_processor () =
+  let procs = [ Ezrt_spec.Processor.make "cpu0"; Ezrt_spec.Processor.make "cpu1" ] in
+  let spec =
+    Spec.make ~name:"m" ~processors:procs
+      ~tasks:
+        [ ok_task ~name:"a" ~processor:"cpu0" ();
+          ok_task ~name:"b" ~processor:"cpu1" () ]
+      ()
+  in
+  check_bool "multi processor rejected" true
+    (has_error (function Validate.Multi_processor _ -> true | _ -> false) spec)
+
+let test_unknown_refs_and_self () =
+  let spec =
+    Spec.make ~name:"r" ~tasks:[ ok_task () ]
+      ~precedences:[ ("t", "ghost") ] ()
+  in
+  check_bool "unknown ref" true
+    (has_error
+       (function Validate.Unknown_task_ref (_, "ghost") -> true | _ -> false)
+       spec);
+  let self = Spec.make ~name:"s" ~tasks:[ ok_task () ] ~exclusions:[ ("t", "t") ] () in
+  check_bool "self exclusion" true
+    (has_error (function Validate.Self_relation _ -> true | _ -> false) self)
+
+let test_precedence_cycle () =
+  let spec =
+    Spec.make ~name:"c"
+      ~tasks:[ ok_task ~name:"a" (); ok_task ~name:"b" (); ok_task ~name:"c" () ]
+      ~precedences:[ ("a", "b"); ("b", "c"); ("c", "a") ]
+      ()
+  in
+  check_bool "cycle found" true
+    (has_error (function Validate.Precedence_cycle _ -> true | _ -> false) spec)
+
+let test_period_mismatch () =
+  let spec =
+    Spec.make ~name:"pm"
+      ~tasks:
+        [
+          Task.make ~name:"a" ~wcet:1 ~deadline:5 ~period:10 ();
+          Task.make ~name:"b" ~wcet:1 ~deadline:5 ~period:20 ();
+        ]
+      ~precedences:[ ("a", "b") ]
+      ()
+  in
+  check_bool "period mismatch" true
+    (has_error (function Validate.Period_mismatch _ -> true | _ -> false) spec)
+
+let test_overutilized () =
+  let spec =
+    Spec.make ~name:"u"
+      ~tasks:
+        [
+          Task.make ~name:"a" ~wcet:6 ~deadline:10 ~period:10 ();
+          Task.make ~name:"b" ~wcet:5 ~deadline:10 ~period:10 ();
+        ]
+      ()
+  in
+  check_bool "overutilized" true
+    (has_error (function Validate.Overutilized _ -> true | _ -> false) spec)
+
+let test_message_checks () =
+  let mk_msg sender receiver =
+    Message.make ~name:"m" ~sender ~receiver ()
+  in
+  let base =
+    [
+      Task.make ~name:"a" ~wcet:1 ~deadline:5 ~period:10 ();
+      Task.make ~name:"b" ~wcet:1 ~deadline:5 ~period:10 ();
+    ]
+  in
+  let ghost =
+    Spec.make ~name:"mg" ~tasks:base ~messages:[ mk_msg "a" "ghost" ] ()
+  in
+  check_bool "ghost receiver" true
+    (has_error (function Validate.Unknown_task_ref _ -> true | _ -> false) ghost);
+  let self = Spec.make ~name:"ms" ~tasks:base ~messages:[ mk_msg "a" "a" ] () in
+  check_bool "self message" true
+    (has_error (function Validate.Self_relation _ -> true | _ -> false) self)
+
+let test_warnings () =
+  let spec =
+    Spec.make ~name:"w"
+      ~tasks:[ ok_task ~name:"a" (); ok_task ~name:"b" () ]
+      ~precedences:[ ("a", "b") ]
+      ~exclusions:[ ("a", "b") ]
+      ()
+  in
+  check_bool "redundant exclusion warned" true
+    (List.exists
+       (function Validate.Exclusion_with_precedence _ -> true | _ -> false)
+       (warnings spec));
+  let zero =
+    Spec.make ~name:"z"
+      ~tasks:[ Task.make ~name:"a" ~wcet:0 ~deadline:5 ~period:10 () ]
+      ()
+  in
+  check_bool "zero wcet warned" true
+    (List.exists
+       (function Validate.Zero_wcet_task _ -> true | _ -> false)
+       (warnings zero))
+
+let test_check_exn () =
+  Alcotest.check_raises "raises with message"
+    (Failure "invalid specification e: specification has no tasks") (fun () ->
+      Validate.check_exn (Spec.make ~name:"e" ~tasks:[] ()))
+
+let test_error_strings_total () =
+  (* every error renders without raising *)
+  let samples =
+    [
+      Validate.No_tasks;
+      Validate.Duplicate_task_id "x";
+      Validate.Duplicate_task_name "x";
+      Validate.Bad_timing ("t", "c <= d");
+      Validate.Unknown_processor ("t", "p");
+      Validate.Multi_processor [ "a"; "b" ];
+      Validate.Unknown_task_ref ("precedence", "x");
+      Validate.Self_relation ("exclusion", "x");
+      Validate.Precedence_cycle [ "a"; "b"; "a" ];
+      Validate.Period_mismatch ("precedence", "a", "b");
+      Validate.Overutilized 1.5;
+      Validate.Bad_message ("m", "oops");
+    ]
+  in
+  List.iter
+    (fun e -> check_bool "non-empty" true (Validate.error_to_string e <> ""))
+    samples
+
+let prop_generated_specs_valid =
+  qcheck "generator produces valid specs" arbitrary_spec Validate.is_valid
+
+let suite =
+  [
+    case "case studies validate" test_case_studies_valid;
+    case "no tasks" test_no_tasks;
+    case "duplicate ids" test_duplicate_ids;
+    case "duplicate names" test_duplicate_names;
+    case "bad timings" test_bad_timings;
+    case "unknown processor" test_unknown_processor;
+    case "multi-processor rejected" test_multi_processor;
+    case "unknown refs and self relations" test_unknown_refs_and_self;
+    case "precedence cycle" test_precedence_cycle;
+    case "period mismatch" test_period_mismatch;
+    case "overutilization" test_overutilized;
+    case "message checks" test_message_checks;
+    case "warnings" test_warnings;
+    case "check_exn" test_check_exn;
+    case "error strings total" test_error_strings_total;
+    prop_generated_specs_valid;
+  ]

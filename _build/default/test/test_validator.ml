@@ -1,0 +1,197 @@
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Timeline = Ezrt_sched.Timeline
+module Validator = Ezrt_sched.Validator
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Message = Ezrt_spec.Message
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let good_timeline spec =
+  let model = Translate.translate spec in
+  match Search.find_schedule model with
+  | Ok schedule, _ -> (model, Timeline.of_schedule model schedule)
+  | Error f, _ -> Alcotest.failf "infeasible: %s" (Search.failure_to_string f)
+
+let expect_violation pred name model segs =
+  match Validator.check model segs with
+  | Ok () -> Alcotest.failf "%s: expected a violation" name
+  | Error vs ->
+    check_bool name true (List.exists pred vs);
+    (* messages render *)
+    List.iter
+      (fun v -> check_bool "renders" true (Validator.violation_to_string v <> ""))
+      vs
+
+let test_accepts_synthesized () =
+  List.iter
+    (fun (name, spec) ->
+      if name <> "greedy-trap" && name <> "mine-pump" then begin
+        let model, segs = good_timeline spec in
+        match Validator.check model segs with
+        | Ok () -> ()
+        | Error vs ->
+          Alcotest.failf "%s: %s" name
+            (Validator.violation_to_string (List.hd vs))
+      end)
+    Case_studies.all
+
+let tamper f spec =
+  let model, segs = good_timeline spec in
+  (model, f segs)
+
+let test_missing_instance () =
+  let model, segs =
+    tamper (function _ :: rest -> rest | [] -> []) Case_studies.quickstart
+  in
+  expect_violation
+    (function Validator.Wrong_instance_count _ -> true | _ -> false)
+    "missing instance" model segs
+
+let test_wrong_amount () =
+  let shrink = function
+    | (s : Timeline.segment) :: rest ->
+      { s with Timeline.finish = s.Timeline.finish - 1 } :: rest
+    | [] -> []
+  in
+  let model, segs = tamper shrink Case_studies.quickstart in
+  expect_violation
+    (function Validator.Wrong_amount _ -> true | _ -> false)
+    "wrong amount" model segs
+
+let test_overlap () =
+  let duplicate_shifted = function
+    | (s : Timeline.segment) :: rest ->
+      (* a copy of the first segment pretending to be the next
+         instance, overlapping in time *)
+      s :: { s with Timeline.task = s.Timeline.task } :: rest
+    | [] -> []
+  in
+  let model, segs = tamper duplicate_shifted Case_studies.quickstart in
+  expect_violation
+    (function
+      | Validator.Processor_overlap _ | Validator.Wrong_amount _ -> true
+      | _ -> false)
+    "overlap" model segs
+
+let test_deadline_missed () =
+  (* shift a whole instance past its deadline *)
+  let late = function
+    | (s : Timeline.segment) :: rest ->
+      { s with Timeline.start = s.Timeline.start + 1000;
+        Timeline.finish = s.Timeline.finish + 1000 }
+      :: rest
+    | [] -> []
+  in
+  let model, segs = tamper late Case_studies.quickstart in
+  expect_violation
+    (function Validator.Missed_deadline _ -> true | _ -> false)
+    "deadline" model segs
+
+let test_started_before_release () =
+  let spec =
+    Spec.make ~name:"rel"
+      ~tasks:[ Task.make ~name:"a" ~release:5 ~wcet:2 ~deadline:10 ~period:10 () ]
+      ()
+  in
+  let early = function
+    | (s : Timeline.segment) :: rest ->
+      { s with Timeline.start = 0; Timeline.finish = 2 } :: rest
+    | [] -> []
+  in
+  let model, segs = tamper early spec in
+  expect_violation
+    (function Validator.Started_before_release _ -> true | _ -> false)
+    "early start" model segs
+
+let test_fragmented_np () =
+  let split = function
+    | (s : Timeline.segment) :: rest when Timeline.duration s >= 2 ->
+      { s with Timeline.finish = s.Timeline.start + 1 }
+      :: { s with Timeline.start = s.Timeline.finish + 2;
+           Timeline.finish = s.Timeline.finish + 2 + (Timeline.duration s - 1);
+           Timeline.resumed = true }
+      :: rest
+    | segs -> segs
+  in
+  let model, segs = tamper split Case_studies.quickstart in
+  expect_violation
+    (function
+      | Validator.Fragmented_non_preemptive _ | Validator.Missed_deadline _ ->
+        true
+      | _ -> false)
+    "fragmented np" model segs
+
+let test_precedence_violation () =
+  let model, segs = good_timeline Case_studies.fig3_precedence in
+  (* swap the two tasks' windows *)
+  let swapped =
+    List.map
+      (fun (s : Timeline.segment) ->
+        if s.Timeline.task = 0 then
+          { s with Timeline.start = 100; Timeline.finish = 100 + Timeline.duration s }
+        else { s with Timeline.start = 0; Timeline.finish = Timeline.duration s })
+      segs
+  in
+  expect_violation
+    (function Validator.Precedence_violated _ -> true | _ -> false)
+    "precedence" model swapped
+
+let test_exclusion_violation () =
+  let model, segs = good_timeline Case_studies.fig4_exclusion in
+  (* force the two instances to interleave *)
+  let forced =
+    List.map
+      (fun (s : Timeline.segment) ->
+        if s.Timeline.task = 0 then
+          { s with Timeline.start = 5; Timeline.finish = 5 + Timeline.duration s }
+        else s)
+      segs
+  in
+  expect_violation
+    (function
+      | Validator.Exclusion_interleaved _ | Validator.Processor_overlap _ ->
+        true
+      | _ -> false)
+    "exclusion" model forced
+
+let test_message_too_early () =
+  let tasks =
+    [
+      Task.make ~name:"prod" ~wcet:2 ~deadline:20 ~period:40 ();
+      Task.make ~name:"cons" ~wcet:2 ~deadline:40 ~period:40 ();
+    ]
+  in
+  let messages =
+    [ Message.make ~name:"m" ~sender:"prod" ~receiver:"cons" ~comm_time:5 () ]
+  in
+  let spec = Spec.make ~name:"msg" ~tasks ~messages () in
+  let model, segs = good_timeline spec in
+  (* move the consumer to start right after the producer, ignoring the
+     5-unit transfer *)
+  let early =
+    List.map
+      (fun (s : Timeline.segment) ->
+        if s.Timeline.task = 1 then
+          { s with Timeline.start = 2; Timeline.finish = 4 }
+        else s)
+      segs
+  in
+  expect_violation
+    (function Validator.Message_too_early _ -> true | _ -> false)
+    "message" model early
+
+let suite =
+  [
+    case "accepts synthesized timelines" test_accepts_synthesized;
+    case "missing instance" test_missing_instance;
+    case "wrong executed amount" test_wrong_amount;
+    case "processor overlap" test_overlap;
+    case "missed deadline" test_deadline_missed;
+    case "start before release" test_started_before_release;
+    case "fragmented non-preemptive instance" test_fragmented_np;
+    case "precedence violation" test_precedence_violation;
+    case "exclusion interleaving" test_exclusion_violation;
+    case "message delivered too late" test_message_too_early;
+  ]

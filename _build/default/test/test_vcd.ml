@@ -1,0 +1,121 @@
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Timeline = Ezrt_sched.Timeline
+module Vcd = Ezrt_sched.Vcd
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let dump_of spec =
+  let model = Translate.translate spec in
+  match Search.find_schedule model with
+  | Ok schedule, _ ->
+    (model, Vcd.of_timeline model (Timeline.of_schedule model schedule))
+  | Error f, _ -> Alcotest.failf "infeasible: %s" (Search.failure_to_string f)
+
+let lines s = String.split_on_char '\n' s
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_header () =
+  let _, dump = dump_of Case_studies.quickstart in
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle dump))
+    [
+      "$timescale 1us $end";
+      "$scope module ezrt $end";
+      "$var wire 1 ! sample $end";
+      "$var wire 1 \" filter $end";
+      "$var wire 1 $ cpu $end";
+      "$enddefinitions $end";
+      "$dumpvars";
+    ]
+
+let test_edges_for_quickstart () =
+  (* sample [0,2) filter [2,6) actuate [6,9): wire '!' rises at 0 and
+     falls at 2, where '"' rises *)
+  let _, dump = dump_of Case_studies.quickstart in
+  let after_time t =
+    let rec go = function
+      | [] -> []
+      | l :: rest -> if l = Printf.sprintf "#%d" t then rest else go rest
+    in
+    go (lines dump)
+  in
+  let until_next_time ls =
+    let rec take acc = function
+      | [] -> List.rev acc
+      | l :: _ when String.length l > 0 && l.[0] = '#' -> List.rev acc
+      | l :: rest -> take (l :: acc) rest
+    in
+    take [] ls
+  in
+  let at2 = until_next_time (after_time 2) in
+  check_bool "sample falls at 2" true (List.mem "0!" at2);
+  check_bool "filter rises at 2" true (List.mem "1\"" at2);
+  (* cpu stays busy across the 2-boundary: no 0 for the cpu wire *)
+  check_bool "cpu stays high" false (List.mem "0$" at2)
+
+let test_cpu_falls_at_idle () =
+  let _, dump = dump_of Case_studies.quickstart in
+  (* work ends at 9 and the hyper-period is 20 *)
+  check_bool "cpu falls at 9" true (contains ~needle:"#9\n0$" dump
+                                    || contains ~needle:"#9" dump);
+  check_bool "dump closed at horizon" true (contains ~needle:"#20" dump)
+
+let test_timescale_option () =
+  let model = Translate.translate Case_studies.quickstart in
+  match Search.find_schedule model with
+  | Error _, _ -> Alcotest.fail "infeasible"
+  | Ok schedule, _ ->
+    let dump =
+      Vcd.of_timeline ~timescale:"1ms" model
+        (Timeline.of_schedule model schedule)
+    in
+    check_bool "custom timescale" true (contains ~needle:"$timescale 1ms $end" dump)
+
+let test_initial_values_zero () =
+  let _, dump = dump_of Case_studies.fig8_preemptive in
+  (* dumpvars section sets every wire low *)
+  let rec between start stop = function
+    | [] -> []
+    | l :: rest ->
+      if l = start then
+        let rec take acc = function
+          | [] -> List.rev acc
+          | l :: _ when l = stop -> List.rev acc
+          | l :: rest -> take (l :: acc) rest
+        in
+        take [] rest
+      else between start stop rest
+  in
+  let init = between "$dumpvars" "$end" (lines dump) in
+  check_int "five wires initialized (4 tasks + cpu)" 5 (List.length init);
+  List.iter
+    (fun l -> check_bool "starts low" true (String.length l > 0 && l.[0] = '0'))
+    init
+
+let test_file_io () =
+  let model = Translate.translate Case_studies.quickstart in
+  match Search.find_schedule model with
+  | Error _, _ -> Alcotest.fail "infeasible"
+  | Ok schedule, _ ->
+    let path = Filename.temp_file "ezrt" ".vcd" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Vcd.save_file path model (Timeline.of_schedule model schedule);
+        let contents = In_channel.with_open_text path In_channel.input_all in
+        check_bool "written" true (String.length contents > 100))
+
+let suite =
+  [
+    case "header structure" test_header;
+    case "edges at segment boundaries" test_edges_for_quickstart;
+    case "cpu wire falls at idle" test_cpu_falls_at_idle;
+    case "timescale option" test_timescale_option;
+    case "initial values" test_initial_values_zero;
+    case "file io" test_file_io;
+  ]

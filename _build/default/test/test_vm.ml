@@ -1,0 +1,193 @@
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Timeline = Ezrt_sched.Timeline
+module Table = Ezrt_sched.Table
+module Vm = Ezrt_runtime.Vm
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let artifact_of spec =
+  let model = Translate.translate spec in
+  match Search.find_schedule model with
+  | Ok schedule, _ ->
+    let segments = Timeline.of_schedule model schedule in
+    (model, segments, Table.of_segments segments)
+  | Error f, _ -> Alcotest.failf "infeasible: %s" (Search.failure_to_string f)
+
+let test_zero_overhead_reproduces_timeline () =
+  List.iter
+    (fun (name, spec) ->
+      if name <> "greedy-trap" then begin
+        let model, segments, items = artifact_of spec in
+        let outcome = Vm.execute ~overhead:0 model items in
+        check_bool (name ^ ": vm segments = planned segments") true
+          (outcome.Vm.segments = segments);
+        check_int (name ^ ": no overruns") 0 outcome.Vm.overruns
+      end)
+    Case_studies.all
+
+let test_completion_counting () =
+  let model, _, items = artifact_of Case_studies.quickstart in
+  let outcome = Vm.execute ~cycles:3 model items in
+  check_int "three instances per cycle" 9 outcome.Vm.completed
+
+let test_trace_events () =
+  let model, _, items = artifact_of Case_studies.fig8_preemptive in
+  let outcome = Vm.execute model items in
+  let has pred = List.exists pred outcome.Vm.trace in
+  check_bool "interrupts" true
+    (has (function Vm.Timer_interrupt _ -> true | _ -> false));
+  check_bool "dispatches" true
+    (has (function Vm.Dispatch _ -> true | _ -> false));
+  check_bool "preemptions" true
+    (has (function Vm.Preempted _ -> true | _ -> false));
+  check_bool "completions" true
+    (has (function Vm.Completed _ -> true | _ -> false));
+  check_bool "no overruns" false
+    (has (function Vm.Overrun _ -> true | _ -> false));
+  (* resumed dispatches are flagged *)
+  check_bool "resume dispatch" true
+    (has (function Vm.Dispatch { resumed; _ } -> resumed | _ -> false));
+  List.iter
+    (fun e ->
+      check_bool "event renders" true (Vm.event_to_string model e <> ""))
+    outcome.Vm.trace
+
+let test_verify_ok () =
+  let model, _, items = artifact_of Case_studies.mine_pump in
+  match Vm.verify model items with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "vm verify: %s"
+      (Ezrt_sched.Validator.violation_to_string (List.hd vs))
+
+(* Two phase-separated tasks leave a 3-unit gap between their table
+   rows: A runs [0,2) and B [5,7), so up to 3 units of dispatch
+   overhead are absorbed before A's slot collides with B's interrupt. *)
+let gapped_spec =
+  Ezrt_spec.Spec.make ~name:"gapped"
+    ~tasks:
+      [
+        Ezrt_spec.Task.make ~name:"A" ~wcet:2 ~deadline:10 ~period:20 ();
+        Ezrt_spec.Task.make ~name:"B" ~phase:5 ~wcet:2 ~deadline:10 ~period:20
+          ();
+      ]
+    ()
+
+let test_overhead_shifts_and_breaks () =
+  let model, _, items = artifact_of gapped_spec in
+  (match Vm.verify ~overhead:1 model items with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "1 unit of overhead should be absorbed");
+  (match Vm.verify ~overhead:50 model items with
+  | Ok () -> Alcotest.fail "50 units of overhead cannot be feasible"
+  | Error _ -> ());
+  check_int "gap width bounds the overhead" 3
+    (Vm.max_tolerable_overhead model items);
+  (* a back-to-back table absorbs nothing: every row starts exactly
+     when the previous one ends *)
+  let model_q, _, items_q = artifact_of Case_studies.quickstart in
+  check_int "back-to-back tables absorb nothing" 0
+    (Vm.max_tolerable_overhead model_q items_q)
+
+let test_tight_schedule_rejects_overhead () =
+  let model, _, items = artifact_of Case_studies.fig8_preemptive in
+  check_int "fig8 tolerates no overhead" 0
+    (Vm.max_tolerable_overhead model items)
+
+let test_overrun_detection () =
+  let model, _, items = artifact_of Case_studies.fig8_preemptive in
+  let outcome = Vm.execute ~overhead:1 model items in
+  check_bool "overruns detected" true (outcome.Vm.overruns > 0)
+
+let test_bad_arguments () =
+  let model, _, items = artifact_of Case_studies.quickstart in
+  Alcotest.check_raises "cycles" (Invalid_argument "Vm.execute: cycles < 1")
+    (fun () -> ignore (Vm.execute ~cycles:0 model items));
+  Alcotest.check_raises "overhead"
+    (Invalid_argument "Vm.execute: negative overhead") (fun () ->
+      ignore (Vm.execute ~overhead:(-1) model items))
+
+let test_spec_overhead_default () =
+  (* disp_overhead from the metamodel is the default VM overhead *)
+  let spec =
+    { Case_studies.quickstart with Ezrt_spec.Spec.disp_overhead = 1 }
+  in
+  let model, _, items = artifact_of spec in
+  let dflt = Vm.execute model items in
+  let explicit = Vm.execute ~overhead:1 model items in
+  check_bool "defaults to the spec's overhead" true
+    (dflt.Vm.segments = explicit.Vm.segments)
+
+let overrun_pair =
+  Ezrt_spec.Spec.make ~name:"overrun-pair"
+    ~tasks:
+      [
+        Ezrt_spec.Task.make ~name:"blocker" ~wcet:2 ~deadline:20 ~period:20 ();
+        Ezrt_spec.Task.make ~name:"victim" ~phase:1 ~wcet:3 ~deadline:6
+          ~period:20 ();
+      ]
+    ()
+
+let test_fault_isolated () =
+  let model, segments, items = artifact_of overrun_pair in
+  let faults = [ { Vm.f_task = 0; f_instance = 0; f_extra = 5 } ] in
+  (match Vm.isolation_check ~faults model items with
+  | Ok overruns -> check_bool "overrun confined" true (overruns >= 1)
+  | Error vs ->
+    Alcotest.failf "leak: %s"
+      (Ezrt_sched.Validator.violation_to_string (List.hd vs)));
+  (* the healthy victim's segment is exactly as planned *)
+  let outcome = Vm.execute ~faults model items in
+  let victim_segs =
+    List.filter (fun (s : Timeline.segment) -> s.Timeline.task = 1)
+      outcome.Vm.segments
+  in
+  check_int "victim untouched" 1 (List.length victim_segs);
+  let planned_victim =
+    List.filter (fun (s : Timeline.segment) -> s.Timeline.task = 1) segments
+  in
+  check_bool "same segment as planned" true (victim_segs = planned_victim)
+
+let test_fault_zero_is_noop () =
+  let model, segments, items = artifact_of Case_studies.quickstart in
+  let faults = [ { Vm.f_task = 0; f_instance = 0; f_extra = 0 } ] in
+  let outcome = Vm.execute ~faults model items in
+  check_bool "identical" true (outcome.Vm.segments = segments);
+  check_int "no overruns" 0 outcome.Vm.overruns
+
+let test_fault_negative_rejected () =
+  let model, _, items = artifact_of Case_studies.quickstart in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Vm.execute: negative fault") (fun () ->
+      ignore
+        (Vm.execute
+           ~faults:[ { Vm.f_task = 0; f_instance = 0; f_extra = -1 } ]
+           model items))
+
+let test_fault_overrun_counted () =
+  let model, _, items = artifact_of Case_studies.quickstart in
+  let faults = [ { Vm.f_task = 1; f_instance = 0; f_extra = 100 } ] in
+  let outcome = Vm.execute ~faults model items in
+  check_bool "overrun recorded" true (outcome.Vm.overruns >= 1);
+  check_bool "faulty instance never completes" true
+    (outcome.Vm.completed < 3)
+
+let suite =
+  [
+    case "fault isolation (temporal firewall)" test_fault_isolated;
+    case "zero-extra fault is a no-op" test_fault_zero_is_noop;
+    case "negative fault rejected" test_fault_negative_rejected;
+    case "fault overruns counted" test_fault_overrun_counted;
+    case "zero overhead reproduces the planned timeline"
+      test_zero_overhead_reproduces_timeline;
+    case "completion counting over cycles" test_completion_counting;
+    case "trace event inventory" test_trace_events;
+    slow_case "mine pump table verifies on the vm" test_verify_ok;
+    case "overhead absorption and breakage" test_overhead_shifts_and_breaks;
+    case "tight schedules tolerate no overhead"
+      test_tight_schedule_rejects_overhead;
+    case "overrun detection" test_overrun_detection;
+    case "bad arguments rejected" test_bad_arguments;
+    case "spec overhead is the default" test_spec_overhead_default;
+  ]

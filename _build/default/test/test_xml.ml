@@ -1,0 +1,219 @@
+module Doc = Ezrt_xml.Doc
+module Parser = Ezrt_xml.Parser
+open Test_util
+
+let parse_ok s =
+  match Parser.parse s with
+  | Ok node -> node
+  | Error e -> Alcotest.failf "parse failed: %s" (Parser.error_to_string e)
+
+let parse_err s =
+  match Parser.parse s with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+  | Error _ -> ()
+
+let test_escape () =
+  check_string "all specials" "&amp;&lt;&gt;&quot;&apos;x" (Doc.escape "&<>\"'x")
+
+let test_elt_rejects_bad_tag () =
+  Alcotest.check_raises "space in tag"
+    (Invalid_argument "Ezrt_xml.Doc.elt: invalid tag \"a b\"") (fun () ->
+      ignore (Doc.elt "a b" []))
+
+let test_compact_print () =
+  let doc = Doc.elt "a" ~attrs:[ ("k", "v&") ] [ Doc.leaf "b" "x<y"; Doc.elt "c" [] ] in
+  check_string "compact" "<a k=\"v&amp;\"><b>x&lt;y</b><c/></a>"
+    (Doc.to_string doc)
+
+let test_decl () =
+  let s = Doc.to_string ~decl:true (Doc.elt "a" []) in
+  check_bool "has decl" true
+    (String.length s > 5 && String.sub s 0 5 = "<?xml")
+
+let test_parse_simple () =
+  let doc = parse_ok "<a k=\"v\"><b>hi</b></a>" in
+  check_string "tag" "a" (Option.get (Doc.tag_of doc));
+  check_string "attr" "v" (Doc.attr_exn doc "k");
+  check_string "child text" "hi" (Option.get (Doc.child_text doc "b"))
+
+let test_parse_entities () =
+  let doc = parse_ok "<a>&lt;&amp;&gt;&quot;&apos;&#65;&#x42;</a>" in
+  check_string "decoded" "<&>\"'AB" (Doc.text_content doc)
+
+let test_parse_numeric_utf8 () =
+  let doc = parse_ok "<a>&#233;</a>" in
+  check_string "two-byte utf8" "\xc3\xa9" (Doc.text_content doc)
+
+let test_parse_single_quotes () =
+  let doc = parse_ok "<a k='v1' l=\"v2\"/>" in
+  check_string "single" "v1" (Doc.attr_exn doc "k");
+  check_string "double" "v2" (Doc.attr_exn doc "l")
+
+let test_parse_comments_and_pi () =
+  let doc =
+    parse_ok
+      "<?xml version=\"1.0\"?><!-- head --><a><!-- in --><b/><?pi data?></a>\n\
+       <!-- tail -->"
+  in
+  check_int "children" 1 (List.length (Doc.children_of doc))
+
+let test_parse_doctype () =
+  let doc = parse_ok "<!DOCTYPE a><a/>" in
+  check_string "tag" "a" (Option.get (Doc.tag_of doc))
+
+let test_parse_cdata () =
+  let doc = parse_ok "<a><![CDATA[x < y & z]]></a>" in
+  check_string "raw" "x < y & z" (Doc.text_content doc)
+
+let test_parse_mixed_content () =
+  let doc = parse_ok "<a>one<b/>two</a>" in
+  match Doc.children_of doc with
+  | [ Doc.Text "one"; Doc.Element _; Doc.Text "two" ] -> ()
+  | _ -> Alcotest.fail "wrong mixed content"
+
+let test_whitespace_only_text_dropped () =
+  let doc = parse_ok "<a>\n  <b/>\n</a>" in
+  check_int "children" 1 (List.length (Doc.children_of doc))
+
+let test_parse_errors () =
+  parse_err "";
+  parse_err "<a>";
+  parse_err "<a></b>";
+  parse_err "<a x=1/>";
+  parse_err "<a>&unknown;</a>";
+  parse_err "<a/><b/>";
+  parse_err "<a><!-- unterminated</a>";
+  parse_err "<a x=\"<\"/>"
+
+let test_find_children () =
+  let doc = parse_ok "<a><b n=\"1\"/><c/><b n=\"2\"/></a>" in
+  check_int "two b" 2 (List.length (Doc.find_children doc "b"));
+  check_string "first b" "1" (Doc.attr_exn (Option.get (Doc.find_child doc "b")) "n")
+
+let test_equal () =
+  let a = parse_ok "<a k=\"v\"><b>x</b></a>" in
+  let b = parse_ok "<a k=\"v\"><b>x</b></a>" in
+  let c = parse_ok "<a k=\"w\"><b>x</b></a>" in
+  check_bool "equal" true (Doc.equal a b);
+  check_bool "not equal" false (Doc.equal a c)
+
+(* Random document generator for round-trip properties.  Text avoids
+   whitespace-only strings (dropped between elements by design). *)
+let doc_gen =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "cd"; "rt:x"; "item" ] in
+  let attr_key = oneofl [ "k"; "key"; "n" ] in
+  let text_gen =
+    map
+      (fun s -> "x" ^ s)
+      (string_size ~gen:(oneofl [ 'a'; '&'; '<'; '"'; '\''; ' '; 'z' ])
+         (int_range 0 6))
+  in
+  let rec node depth =
+    if depth = 0 then map Doc.text text_gen
+    else
+      frequency
+        [
+          (1, map Doc.text text_gen);
+          ( 3,
+            let* t = tag in
+            let* n_attrs = int_range 0 2 in
+            let* attr_keys = list_repeat n_attrs attr_key in
+            let attr_keys = List.sort_uniq compare attr_keys in
+            let* attrs =
+              List.fold_right
+                (fun k acc ->
+                  let* rest = acc in
+                  let* v = text_gen in
+                  return ((k, v) :: rest))
+                attr_keys (return [])
+            in
+            let* n_children = int_range 0 3 in
+            let* children = list_repeat n_children (node (depth - 1)) in
+            return (Doc.elt t ~attrs children) );
+        ]
+  in
+  let* t = tag in
+  let* n_children = int_range 0 3 in
+  let* children = list_repeat n_children (node 2) in
+  return (Doc.elt t children)
+
+let arbitrary_doc = QCheck.make ~print:Doc.to_string doc_gen
+
+(* Adjacent text nodes merge when re-parsed, so compare the parsed
+   form of the compact print against the parsed form of itself printed
+   again — i.e., printing is a fixpoint after one parse. *)
+let prop_roundtrip_compact =
+  qcheck ~count:300 "parse(print(d)) prints identically" arbitrary_doc
+    (fun doc ->
+      let s = Doc.to_string doc in
+      match Parser.parse s with
+      | Error _ -> false
+      | Ok reparsed -> String.equal s (Doc.to_string reparsed))
+
+let prop_roundtrip_pretty =
+  qcheck ~count:300 "pretty print parses to the same document"
+    arbitrary_doc (fun doc ->
+      let s = Doc.to_string doc in
+      match Parser.parse s with
+      | Error _ -> false
+      | Ok once -> (
+        (* once has normalized text nodes; pretty printing it must
+           parse back to an equal tree *)
+        match Parser.parse (Doc.to_string_pretty once) with
+        | Error _ -> false
+        | Ok twice -> Doc.equal once twice))
+
+let prop_escape_roundtrip =
+  qcheck "escaped text parses back" QCheck.(string_of_size (QCheck.Gen.return 8))
+    (fun s ->
+      QCheck.assume (String.exists (fun c -> c <> ' ' && c <> '\t' && c <> '\n' && c <> '\r') s);
+      QCheck.assume (String.for_all (fun c -> Char.code c >= 32 || c = '\n') s);
+      match Parser.parse ("<a>" ^ Doc.escape s ^ "</a>") with
+      | Ok doc -> String.equal (Doc.text_content doc) s
+      | Error _ -> false)
+
+(* fuzz: the parser returns a result on arbitrary bytes instead of
+   raising *)
+let prop_parser_total =
+  qcheck ~count:500 "parser is total on junk"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 40) QCheck.Gen.printable)
+    (fun s ->
+      match Parser.parse s with Ok _ | Error _ -> true)
+
+let prop_parser_total_xmlish =
+  let gen =
+    QCheck.Gen.(
+      map (String.concat "")
+        (list_size (int_range 0 12)
+           (oneofl
+              [ "<a>"; "</a>"; "<b x=\"1\">"; "&amp;"; "&#6;"; "txt"; "<!--";
+                "-->"; "<![CDATA["; "]]>"; "<?pi?>"; "\""; "'"; "<"; ">" ])))
+  in
+  qcheck ~count:500 "parser is total on xml-ish fragments" (QCheck.make gen)
+    (fun s -> match Parser.parse s with Ok _ | Error _ -> true)
+
+let suite =
+  [
+    case "escape" test_escape;
+    prop_parser_total;
+    prop_parser_total_xmlish;
+    case "elt rejects bad tag" test_elt_rejects_bad_tag;
+    case "compact print" test_compact_print;
+    case "xml declaration" test_decl;
+    case "parse simple" test_parse_simple;
+    case "parse entities" test_parse_entities;
+    case "numeric utf8 entity" test_parse_numeric_utf8;
+    case "single quotes" test_parse_single_quotes;
+    case "comments and PIs" test_parse_comments_and_pi;
+    case "doctype" test_parse_doctype;
+    case "cdata" test_parse_cdata;
+    case "mixed content" test_parse_mixed_content;
+    case "whitespace-only text dropped" test_whitespace_only_text_dropped;
+    case "parse errors" test_parse_errors;
+    case "find children" test_find_children;
+    case "equal" test_equal;
+    prop_roundtrip_compact;
+    prop_roundtrip_pretty;
+    prop_escape_roundtrip;
+  ]
