@@ -19,6 +19,51 @@ let solve ?options spec =
 
 let ms metrics = metrics.Search.elapsed_s *. 1000.
 
+(* --- machine-readable output (BENCH_search.json) --------------------- *)
+(* Besides the pretty tables, every search experiment appends a record
+   here; the file lets CI track the perf trajectory across PRs. *)
+
+let json_entries : (string * string) list ref = ref []
+
+let add_json key fields =
+  let body =
+    String.concat ",\n    "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+  in
+  json_entries := (key, Printf.sprintf "{\n    %s\n  }" body) :: !json_entries
+
+let jint = string_of_int
+let jfloat f = Printf.sprintf "%.3f" f
+let jbool = string_of_bool
+let jstr s = Printf.sprintf "%S" s
+
+let states_per_s metrics =
+  float_of_int metrics.Search.visited /. max 1e-9 metrics.Search.elapsed_s
+
+let record_search exp ?options (name, spec) =
+  let _, outcome, metrics = solve ?options spec in
+  add_json exp
+    [
+      ("spec", jstr name);
+      ("feasible", jbool (Result.is_ok outcome));
+      ("stored_states", jint metrics.Search.stored);
+      ("visited_states", jint metrics.Search.visited);
+      ("elapsed_ms", jfloat (ms metrics));
+      ("states_per_s", jfloat (states_per_s metrics));
+    ]
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let entries = List.rev !json_entries in
+  List.iteri
+    (fun i (key, value) ->
+      Printf.fprintf oc "  %S: %s%s\n" key value
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc
+
 (* --- E1: Table 1 + the quantitative case-study paragraph ----------- *)
 
 let e1 () =
@@ -51,7 +96,56 @@ let e1 () =
     (Translate.minimum_states model);
   Format.printf "%-34s %14.0f %14.1f@." "search time (ms)" 330. (ms metrics);
   Format.printf "%-34s %14s %14b@." "feasible schedule found" "yes" feasible;
-  Format.printf "%-34s %14s %14b@." "independently certified" "n/a" certified
+  Format.printf "%-34s %14s %14b@." "independently certified" "n/a" certified;
+  record_search "E1" ("mine-pump", spec);
+  (* seed (copy-based) engine versus the incremental engine on the same
+     search, with per-fire state-vector writes from the State counters *)
+  let run incremental =
+    State.reset_write_counters ();
+    let t0 = Unix.gettimeofday () in
+    let outcome, m =
+      Search.find_schedule
+        ~options:{ Search.default_options with incremental }
+        model
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let copy_w, incr_w, fires = State.write_counters () in
+    (outcome, m, elapsed, (if incremental then incr_w else copy_w), fires)
+  in
+  let seed_outcome, seed_m, seed_t, seed_writes, seed_fires = run false in
+  let incr_outcome, incr_m, incr_t, incr_writes, incr_fires = run true in
+  let writes_per_fire w f = float_of_int w /. float_of_int (max 1 f) in
+  let seed_wpf = writes_per_fire seed_writes seed_fires in
+  let incr_wpf = writes_per_fire incr_writes incr_fires in
+  let identical =
+    match (seed_outcome, incr_outcome) with
+    | Ok a, Ok b -> a.Schedule.entries = b.Schedule.entries
+    | Error a, Error b -> a = b
+    | _ -> false
+  in
+  let speedup = seed_t /. max 1e-9 incr_t in
+  Format.printf "@.engine comparison (seed copy-based vs incremental):@.";
+  Format.printf "%-34s %14s %14s@." "" "seed" "incremental";
+  Format.printf "%-34s %14.1f %14.1f@." "search time (ms)" (seed_t *. 1000.)
+    (incr_t *. 1000.);
+  Format.printf "%-34s %14.1f %14.1f@." "state-vector writes per fire"
+    seed_wpf incr_wpf;
+  Format.printf "%-34s %14d %14d@." "firings" seed_fires incr_fires;
+  Format.printf "write reduction: %.1fx   speedup: %.2fx   schedules identical: %b@."
+    (seed_wpf /. max 1e-9 incr_wpf) speedup identical;
+  add_json "E1_engine_comparison"
+    [
+      ("spec", jstr "mine-pump");
+      ("seed_elapsed_ms", jfloat (seed_t *. 1000.));
+      ("incremental_elapsed_ms", jfloat (incr_t *. 1000.));
+      ("seed_states_per_s", jfloat (states_per_s seed_m));
+      ("incremental_states_per_s", jfloat (states_per_s incr_m));
+      ("seed_writes_per_fire", jfloat seed_wpf);
+      ("incremental_writes_per_fire", jfloat incr_wpf);
+      ("write_reduction", jfloat (seed_wpf /. max 1e-9 incr_wpf));
+      ("speedup", jfloat speedup);
+      ("schedules_identical", jbool identical);
+    ]
 
 (* --- E2: the Fig 8 schedule table ----------------------------------- *)
 
@@ -72,7 +166,8 @@ let e2 () =
   Format.printf "%-34s %14d %14d@." "resume rows (flag=true)" 5 resumes;
   Format.printf "%-34s %14d %14d@." "preempting rows" 5 preempts;
   Format.printf "%-34s %14s %14s@." "row vocabulary"
-    "start/preempt/resume" "same"
+    "start/preempt/resume" "same";
+  record_search "E2" ("fig8-preemptive", Case_studies.fig8_preemptive)
 
 (* --- E3 / E4: relation models (Figs 3 and 4) ------------------------ *)
 
@@ -104,7 +199,8 @@ let relation_report spec expectations =
 let e3 () =
   section "E3" "Precedence relation model (Fig 3)";
   relation_report Case_studies.fig3_precedence
-    [ "tprec_T1_T2"; "pwp_T1_T2"; "pprec_T1_T2"; "tr_T1"; "tc_T2"; "td_T2" ]
+    [ "tprec_T1_T2"; "pwp_T1_T2"; "pprec_T1_T2"; "tr_T1"; "tc_T2"; "td_T2" ];
+  record_search "E3" ("fig3-precedence", Case_studies.fig3_precedence)
 
 let e4 () =
   section "E4" "Exclusion relation model (Fig 4)";
@@ -119,7 +215,8 @@ let e4 () =
     report.Analysis.reachable_states
     (List.for_all
        (fun p -> Analysis.is_safe_place report p)
-       model.Translate.resource_places)
+       model.Translate.resource_places);
+  record_search "E4" ("fig4-exclusion", Case_studies.fig4_exclusion)
 
 (* --- E5: building-block inventory (Figs 1-2) ------------------------ *)
 
@@ -149,7 +246,8 @@ let e5 () =
       ("np task structure", "5 pl + 4 tr", "tr [r,d-c], tg [0,0], tc [c,c], tf [0,0]");
       ("preemptive structure", "5 pl + 4 tr", "tc [1,1] per unit, tf weight c");
       ("processor", "1 marked pl", "pproc, 1-safe (E4 check)");
-    ]
+    ];
+  record_search "E5" ("flight-control", Case_studies.flight_control)
 
 (* --- E6: the DSL document (Fig 7) ----------------------------------- *)
 
@@ -165,7 +263,8 @@ let e6 () =
       (Spec.hyperperiod spec' = Spec.hyperperiod spec)
   | Error e -> Format.printf "ROUND-TRIP FAILED: %s@." (Dsl.error_to_string e));
   Format.printf "fig3 document (compare paper Fig 7):@.%s"
-    (Dsl.to_string Case_studies.fig3_precedence)
+    (Dsl.to_string Case_studies.fig3_precedence);
+  record_search "E6" ("quickstart", Case_studies.quickstart)
 
 (* --- E7: PNML export (section 4.1) ----------------------------------- *)
 
@@ -187,7 +286,10 @@ let e7 () =
            && Pnet.arc_count net' = Pnet.arc_count net)
       | Error e ->
         Format.printf "%-12s FAILED: %s@." name (Pnml.error_to_string e))
-    Case_studies.all
+    Case_studies.all;
+  record_search "E7"
+    ~options:{ Search.default_options with latest_release = true }
+    ("greedy-trap", Case_studies.greedy_trap)
 
 (* --- E8: property checking (abstract: "checking properties") --------- *)
 
@@ -728,6 +830,47 @@ let a13 () =
       s.Emit.table_bytes c.Emit.table_bytes
       (c.Emit.fits_flash = Some true))
 
+(* --- A14: parallel portfolio race -------------------------------------- *)
+
+let a14 () =
+  section "A14" "Parallel portfolio race (OCaml 5 domains)";
+  Format.printf "recommended domains on this machine: %d@."
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun (name, spec) ->
+      let model = Translate.translate spec in
+      let result = Portfolio.find_schedule model in
+      let winner =
+        match result.Portfolio.winner with
+        | Some cfg -> Portfolio.config_to_string cfg
+        | None -> "-"
+      in
+      Format.printf
+        "%-14s %s on %d domain(s), %d config(s) finished, %.1f ms (winner: \
+         %s)@."
+        name
+        (match result.Portfolio.outcome with
+        | Ok _ -> "feasible"
+        | Error f -> Search.failure_to_string f)
+        result.Portfolio.domains_used
+        (List.length result.Portfolio.attempts)
+        (result.Portfolio.elapsed_s *. 1000.)
+        winner;
+      add_json ("A14_portfolio_" ^ name)
+        [
+          ("spec", jstr name);
+          ("feasible", jbool (Result.is_ok result.Portfolio.outcome));
+          ("winner", jstr winner);
+          ("domains_used", jint result.Portfolio.domains_used);
+          ("configs_finished", jint (List.length result.Portfolio.attempts));
+          ("elapsed_ms", jfloat (result.Portfolio.elapsed_s *. 1000.));
+        ])
+    [
+      ("mine-pump", Case_studies.mine_pump);
+      ("flight-control", Case_studies.flight_control);
+      ("greedy-trap", Case_studies.greedy_trap);
+    ]
+
 (* --- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let bechamel_suite () =
@@ -840,5 +983,8 @@ let () =
   a11 ();
   a12 ();
   a13 ();
+  a14 ();
   bechamel_suite ();
-  Format.printf "@.done.@."
+  write_json "BENCH_search.json";
+  Format.printf "@.wrote BENCH_search.json@.";
+  Format.printf "done.@."

@@ -54,7 +54,7 @@ let max_states_arg =
 
 let search_options policy no_po latest max_stored =
   { Search.policy; partial_order = not no_po; latest_release = latest;
-    max_stored }
+    max_stored; incremental = true }
 
 let or_die = function
   | Ok v -> v
@@ -153,11 +153,15 @@ let model_cmd =
 
 let engine_arg =
   let engine_conv =
-    Arg.enum [ ("discrete", `Discrete); ("classes", `Classes) ]
+    Arg.enum
+      [ ("discrete", `Discrete); ("classes", `Classes);
+        ("portfolio", `Portfolio) ]
   in
   Arg.(value & opt engine_conv `Discrete & info [ "engine" ] ~docv:"ENGINE"
-         ~doc:"Search engine: discrete (integer-clock TLTS) or classes \
-               (dense-time state classes).")
+         ~doc:"Search engine: discrete (integer-clock TLTS), classes \
+               (dense-time state classes), or portfolio (race every \
+               policy and engine on parallel domains, first feasible \
+               schedule wins).")
 
 let gantt_arg =
   Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
@@ -216,6 +220,39 @@ let schedule_cmd =
               | None -> ()))
           | Error f, _ ->
             prerr_endline ("ezrt: " ^ Class_search.failure_to_string f);
+            exit 1)
+        | `Portfolio -> (
+          let model = Translate.translate spec in
+          let race = Portfolio.find_schedule ~max_stored:max_states model in
+          match race.Portfolio.outcome with
+          | Ok schedule -> (
+            let segments = Timeline.of_schedule model schedule in
+            match Validator.check model segments with
+            | Error vs ->
+              prerr_endline
+                ("ezrt: schedule failed certification: "
+                ^ Validator.violation_to_string (List.hd vs));
+              exit 1
+            | Ok () ->
+              let table = Table.of_segments segments in
+              Format.printf
+                "portfolio: %s won on %d domain(s) (%d config(s) finished), \
+                 %.1f ms@."
+                (match race.Portfolio.winner with
+                | Some cfg -> Portfolio.config_to_string cfg
+                | None -> "?")
+                race.Portfolio.domains_used
+                (List.length race.Portfolio.attempts)
+                (race.Portfolio.elapsed_s *. 1000.);
+              Format.printf "schedule table:@.%a" (Table.pp model) table;
+              if gantt then Format.printf "@.%s" (Chart.render model segments);
+              (match vcd with
+              | Some path ->
+                Vcd.save_file path model segments;
+                Printf.printf "VCD written to %s\n" path
+              | None -> ()))
+          | Error f ->
+            prerr_endline ("ezrt: " ^ Search.failure_to_string f);
             exit 1))
   in
   Cmd.v

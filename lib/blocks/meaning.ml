@@ -34,6 +34,14 @@ let task_index = function
   | Start | End | Cycle_overrun | Precedence _ | Msg_grant _ | Msg_transfer _ ->
     None
 
+let is_release = function
+  | Release _ -> true
+  | Start | End | Phase_arrival _ | Arrival _ | Release_wait _ | Grab _
+  | Compute _ | Unit_grab _ | Unit_compute _ | Excl_grab _ | Finish _
+  | Deadline_ok _ | Deadline_miss _ | Cycle_overrun | Precedence _
+  | Msg_grant _ | Msg_transfer _ ->
+    false
+
 let to_string = function
   | Start -> "start"
   | End -> "end"

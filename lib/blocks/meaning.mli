@@ -43,4 +43,10 @@ type t =
 val task_index : t -> int option
 (** The task a transition belongs to, when it belongs to one. *)
 
+val is_release : t -> bool
+(** Whether the transition is a release decision [tr_i] — the only
+    kind whose firing window the search may stretch when branching on
+    inserted idle time (shared by {!Ezrt_sched.Search}'s firing-time
+    enumeration and the portfolio's config pruning). *)
+
 val to_string : t -> string

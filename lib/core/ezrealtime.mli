@@ -20,6 +20,7 @@ module Xml_parser = Ezrt_xml.Parser
 module Interval = Ezrt_tpn.Time_interval
 module Pnet = Ezrt_tpn.Pnet
 module State = Ezrt_tpn.State
+module Packed_state = Ezrt_tpn.Packed_state
 module Tlts = Ezrt_tpn.Tlts
 module Analysis = Ezrt_tpn.Analysis
 module Invariants = Ezrt_tpn.Invariants
@@ -55,6 +56,7 @@ module Sensitivity = Ezrt_sched.Sensitivity
 module Vcd = Ezrt_sched.Vcd
 module Class_search = Ezrt_sched.Class_search
 module Optimize = Ezrt_sched.Optimize
+module Portfolio = Ezrt_sched.Portfolio
 module Target = Ezrt_codegen.Target
 module Emit = Ezrt_codegen.Emit
 module Vm = Ezrt_runtime.Vm

@@ -164,7 +164,9 @@ let extract net sequence =
       | exception Invalid_argument _ -> None)
     | None -> None)
 
-let find_schedule ?(max_stored = 500_000) model =
+let no_cancel () = false
+
+let find_schedule ?(max_stored = 500_000) ?(cancel = no_cancel) model =
   let net = model.Translate.net in
   let started = Unix.gettimeofday () in
   let failed = State_class.Table.create 4096 in
@@ -196,6 +198,7 @@ let find_schedule ?(max_stored = 500_000) model =
   let rec dfs depth path_rev c =
     if depth > counters.c_max_depth then counters.c_max_depth <- depth;
     if is_final model c then raise (Found path_rev);
+    if cancel () then budget_hit := true;
     if
       (not (is_dead model c))
       && (not (State_class.Table.mem failed c))

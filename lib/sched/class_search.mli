@@ -30,6 +30,10 @@ val failure_to_string : failure -> string
 
 val find_schedule :
   ?max_stored:int ->
+  ?cancel:(unit -> bool) ->
   Ezrt_blocks.Translate.t ->
   (Schedule.t, failure) result * metrics
-(** [max_stored] defaults to 500_000. *)
+(** [max_stored] defaults to 500_000.  [cancel] is polled at every
+    stored class (default: never); when it returns [true] the search
+    unwinds and reports {!Budget_exhausted} — used by the parallel
+    portfolio to stop losing configurations. *)

@@ -1,0 +1,182 @@
+(* Parallel portfolio search: race independent search configurations
+   (branch-ordering policy x inserted-idle branching x engine) on
+   OCaml 5 domains and return the first feasible schedule.
+
+   Which configuration wins a hard instance is unpredictable — EDF
+   ordering backtracks where continuity sails through, the class engine
+   beats the discrete one on wide windows — so racing them bounds the
+   wall-clock by the best config instead of a guessed one.  Losing
+   configurations are stopped through the search's [cancel] hook; the
+   translated model is shared read-only across domains, every search
+   owns its engine and tables. *)
+
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+module Meaning = Ezrt_blocks.Meaning
+
+type engine =
+  | Discrete
+  | Classes
+
+type config = {
+  engine : engine;
+  policy : Priority.policy;
+  latest_release : bool;
+}
+
+let config_to_string c =
+  match c.engine with
+  | Classes -> "classes"
+  | Discrete ->
+    Printf.sprintf "discrete/%s%s"
+      (Priority.to_string c.policy)
+      (if c.latest_release then "+latest-release" else "")
+
+type attempt = {
+  config : config;
+  outcome : (Schedule.t, Search.failure) result;
+  metrics : Search.metrics;
+}
+
+type t = {
+  outcome : (Schedule.t, Search.failure) result;
+  winner : config option;
+  attempts : attempt list;  (** configurations that ran to a verdict *)
+  domains_used : int;
+  elapsed_s : float;
+}
+
+(* Inserted-idle branching only widens the choice space when some
+   release window is wider than a point; otherwise the latest-release
+   configs replicate the plain ones and would waste domains. *)
+let has_release_window model =
+  let net = model.Translate.net in
+  let wide = ref false in
+  Array.iteri
+    (fun tid m ->
+      if Meaning.is_release m
+         && not (Time_interval.is_point (Pnet.interval net tid))
+      then wide := true)
+    model.Translate.meanings;
+  !wide
+
+let default_configs model =
+  let discrete policy latest_release =
+    { engine = Discrete; policy; latest_release }
+  in
+  let base = List.map (fun (_, p) -> discrete p false) Priority.all in
+  let idle =
+    if has_release_window model then
+      [ discrete Priority.Edf true; discrete Priority.Continuity true ]
+    else []
+  in
+  base @ idle
+  @ [ { engine = Classes; policy = Priority.Edf; latest_release = false } ]
+
+let class_metrics (m : Class_search.metrics) =
+  {
+    Search.stored = m.Class_search.stored;
+    visited = m.Class_search.visited;
+    eager = m.Class_search.eager;
+    backtracks = m.Class_search.backtracks;
+    max_depth = m.Class_search.max_depth;
+    elapsed_s = m.Class_search.elapsed_s;
+  }
+
+let run_config ~max_stored ~cancel model cfg =
+  match cfg.engine with
+  | Discrete ->
+    let options =
+      { Search.default_options with
+        policy = cfg.policy;
+        latest_release = cfg.latest_release;
+        max_stored }
+    in
+    let outcome, metrics = Search.find_schedule ~options ~cancel model in
+    { config = cfg; outcome; metrics }
+  | Classes ->
+    let outcome, metrics = Class_search.find_schedule ~max_stored ~cancel model in
+    let outcome =
+      match outcome with
+      | Ok schedule -> Ok schedule
+      | Error Class_search.Infeasible -> Error Search.Infeasible
+      | Error (Class_search.Budget_exhausted | Class_search.Extraction_failed)
+        ->
+        (* an unrealized class path is inconclusive, not a proof *)
+        Error Search.Budget_exhausted
+    in
+    { config = cfg; outcome; metrics = class_metrics metrics }
+
+let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
+  let started = Unix.gettimeofday () in
+  let configs =
+    match configs with Some cs -> cs | None -> default_configs model
+  in
+  if configs = [] then invalid_arg "Portfolio.find_schedule: no configurations";
+  let cfgs = Array.of_list configs in
+  let n = Array.length cfgs in
+  let workers =
+    match domains with
+    | Some d -> max 1 (min d n)
+    | None -> max 1 (min n (Domain.recommended_domain_count () - 1))
+  in
+  let stop = Atomic.make false in
+  let next = Atomic.make 0 in
+  let results = Array.make n None in
+  (* each worker drains the config queue until a winner appears; slot
+     [i] is written by exactly one domain and read only after join *)
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n || Atomic.get stop then continue := false
+      else begin
+        let (attempt : attempt) =
+          run_config ~max_stored ~cancel:(fun () -> Atomic.get stop) model
+            cfgs.(i)
+        in
+        results.(i) <- Some attempt;
+        match attempt.outcome with
+        | Ok _ -> Atomic.set stop true
+        | Error _ -> ()
+      end
+    done
+  in
+  if workers = 1 then worker ()
+  else begin
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  let attempts =
+    Array.to_list results |> List.filter_map (fun a -> a)
+  in
+  let winner =
+    (* lowest config index with a feasible outcome, for determinism
+       given the set of finished attempts *)
+    List.find_opt (fun (a : attempt) -> Result.is_ok a.outcome) attempts
+  in
+  let outcome, winner_cfg =
+    match winner with
+    | Some (a : attempt) -> (a.outcome, Some a.config)
+    | None ->
+      (* a proof of infeasibility requires every config to have run to
+         exhaustion; any budget/cancel verdict leaves it open *)
+      let verdict =
+        if
+          List.length attempts = n
+          && List.for_all
+               (fun (a : attempt) -> a.outcome = Error Search.Infeasible)
+               attempts
+        then Search.Infeasible
+        else Search.Budget_exhausted
+      in
+      (Error verdict, None)
+  in
+  {
+    outcome;
+    winner = winner_cfg;
+    attempts;
+    domains_used = workers;
+    elapsed_s = Unix.gettimeofday () -. started;
+  }

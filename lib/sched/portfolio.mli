@@ -1,0 +1,61 @@
+(** Parallel portfolio search over OCaml 5 domains.
+
+    Races independent search configurations — branch-ordering policy
+    × inserted-idle branching × engine (discrete TLTS or dense-time
+    state classes) — against the same translated model and returns the
+    first feasible schedule found.  Losing configurations are stopped
+    through the searches' [cancel] hooks.  Any returned schedule goes
+    through the same certification pipeline as single-engine results
+    ({!Validator.check}); which config wins under parallel execution is
+    timing-dependent, the schedule's validity is not. *)
+
+type engine =
+  | Discrete  (** {!Search.find_schedule}, incremental engine *)
+  | Classes  (** {!Class_search.find_schedule} *)
+
+type config = {
+  engine : engine;
+  policy : Priority.policy;  (** ignored by [Classes] *)
+  latest_release : bool;  (** ignored by [Classes] *)
+}
+
+val config_to_string : config -> string
+
+type attempt = {
+  config : config;
+  outcome : (Schedule.t, Search.failure) result;
+  metrics : Search.metrics;
+}
+
+type t = {
+  outcome : (Schedule.t, Search.failure) result;
+      (** the winner's schedule; [Infeasible] only when every
+          configuration ran to exhaustion *)
+  winner : config option;
+  attempts : attempt list;
+      (** configurations that reached a verdict before the race was
+          decided, in configuration order *)
+  domains_used : int;
+  elapsed_s : float;
+}
+
+val has_release_window : Ezrt_blocks.Translate.t -> bool
+(** Whether some release transition has a non-point firing window —
+    the precondition for latest-release configs to add coverage
+    (via {!Ezrt_blocks.Meaning.is_release}). *)
+
+val default_configs : Ezrt_blocks.Translate.t -> config list
+(** Every ordering policy on the discrete engine, latest-release
+    variants when {!has_release_window}, and the class engine. *)
+
+val find_schedule :
+  ?configs:config list ->
+  ?max_stored:int ->
+  ?domains:int ->
+  Ezrt_blocks.Translate.t ->
+  t
+(** [max_stored] bounds each configuration separately (default
+    500_000).  [domains] caps the worker domains (default: one per
+    config, at most [Domain.recommended_domain_count () - 1]); with
+    [~domains:1] the configs run sequentially on the calling domain in
+    order, which is deterministic. *)

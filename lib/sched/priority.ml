@@ -23,13 +23,39 @@ let to_string = function
 
 let no_urgency = max_int / 2
 
+(* The policies read the dynamic state through this small vtable so the
+   same ordering logic serves both the immutable [State.t] and the
+   incremental engine without copying either. *)
+type view = {
+  v_is_enabled : Pnet.transition_id -> bool;
+  v_dub : Pnet.transition_id -> Time_interval.bound;
+  v_dlb : Pnet.transition_id -> int;
+  v_tokens : Pnet.place_id -> int;
+}
+
+let view_of_state net s =
+  {
+    v_is_enabled = State.is_enabled s;
+    v_dub = State.dub net s;
+    v_dlb = State.dlb net s;
+    v_tokens = State.tokens s;
+  }
+
+let view_of_engine e =
+  {
+    v_is_enabled = State.Incremental.is_enabled e;
+    v_dub = State.Incremental.dub e;
+    v_dlb = State.Incremental.dlb e;
+    v_tokens = State.Incremental.tokens e;
+  }
+
 (* Time remaining to the current instance deadline of task [i], read
    off the deadline-watch transition's clock.  When the watch is not
    armed the task has no pending instance. *)
-let slack model s i =
+let slack model v i =
   let td = model.Translate.deadline_watch.(i) in
-  if State.is_enabled s td then
-    match State.dub model.Translate.net s td with
+  if v.v_is_enabled td then
+    match v.v_dub td with
     | Time_interval.Finite q -> q
     | Time_interval.Infinity -> no_urgency
   else no_urgency
@@ -37,32 +63,37 @@ let slack model s i =
 (* A preemptive instance is in progress when some units have been
    consumed but work remains: the unit pool is partially drained or a
    unit holds the processor right now. *)
-let in_progress model (s : State.t) i =
+let in_progress model v i =
   match model.Translate.progress.(i) with
   | None -> false
   | Some (pwu, pwx) ->
-    let pending = s.State.marking.(pwu) and running = s.State.marking.(pwx) in
+    let pending = v.v_tokens pwu and running = v.v_tokens pwx in
     let total = pending + running in
     running > 0 || (total > 0 && total < model.Translate.tasks.(i).Task.wcet)
 
-let key policy model s tid =
+let key_view policy model v tid =
   match Meaning.task_index model.Translate.meanings.(tid) with
   | None -> no_urgency
   | Some i -> (
     let task = model.Translate.tasks.(i) in
     match policy with
     | Fifo -> tid
-    | Edf -> slack model s i
+    | Edf -> slack model v i
     | Rm -> task.Task.period
     | Dm -> task.Task.deadline
     | Continuity ->
-      let started = if in_progress model s i then 0 else 1 in
-      (started * no_urgency) + slack model s i)
+      let started = if in_progress model v i then 0 else 1 in
+      (started * no_urgency) + slack model v i)
 
-let order policy model s candidates =
+let order_view policy model v candidates =
   let decorated =
-    List.map
-      (fun tid -> (key policy model s tid, State.dlb model.Translate.net s tid, tid))
+    List.map (fun tid -> (key_view policy model v tid, v.v_dlb tid, tid))
       candidates
   in
   List.map (fun (_, _, tid) -> tid) (List.sort compare decorated)
+
+let key policy model s tid =
+  key_view policy model (view_of_state model.Translate.net s) tid
+
+let order policy model s candidates =
+  order_view policy model (view_of_state model.Translate.net s) candidates

@@ -22,6 +22,29 @@ type policy =
 val all : (string * policy) list
 val to_string : policy -> string
 
+(** Read-only dynamic-state accessors: the policies are written against
+    this vtable so the same ordering logic serves the immutable
+    {!State.t} and the incremental engine. *)
+type view = {
+  v_is_enabled : Pnet.transition_id -> bool;
+  v_dub : Pnet.transition_id -> Time_interval.bound;
+  v_dlb : Pnet.transition_id -> int;
+  v_tokens : Pnet.place_id -> int;
+}
+
+val view_of_state : Pnet.t -> State.t -> view
+val view_of_engine : State.Incremental.engine -> view
+
+val key_view :
+  policy -> Ezrt_blocks.Translate.t -> view -> Pnet.transition_id -> int
+
+val order_view :
+  policy ->
+  Ezrt_blocks.Translate.t ->
+  view ->
+  Pnet.transition_id list ->
+  Pnet.transition_id list
+
 val key :
   policy -> Ezrt_blocks.Translate.t -> State.t -> Pnet.transition_id -> int
 (** Ordering key of a candidate transition in a state.  Transitions not

@@ -7,11 +7,12 @@ type options = {
   partial_order : bool;
   latest_release : bool;
   max_stored : int;
+  incremental : bool;
 }
 
 let default_options =
   { policy = Priority.Edf; partial_order = true; latest_release = false;
-    max_stored = 500_000 }
+    max_stored = 500_000; incremental = true }
 
 type failure =
   | Infeasible
@@ -45,14 +46,27 @@ let is_immediate net tid =
   let itv = Pnet.interval net tid in
   Time_interval.is_point itv && Time_interval.eft itv = 0
 
-let find_schedule ?(options = default_options) model =
+(* Firing times to branch on within a domain: the earliest time always,
+   plus the latest time of release windows when inserted idle time is
+   allowed. *)
+let firing_times options model tid (lo, hi) =
+  if
+    options.latest_release
+    && Meaning.is_release model.Translate.meanings.(tid)
+  then
+    match hi with
+    | Time_interval.Finite hi when hi > lo -> [ lo; hi ]
+    | Time_interval.Finite _ | Time_interval.Infinity -> [ lo ]
+  else [ lo ]
+
+(* --- copy-based reference engine ------------------------------------ *)
+(* The seed implementation: immutable states, a [State.Table] memo.
+   Kept as the semantic oracle for the differential tests and the
+   benchmark baseline. *)
+
+let find_schedule_copying ~options ~cancel model counters =
   let net = model.Translate.net in
-  let started = Unix.gettimeofday () in
   let failed = State.Table.create 4096 in
-  let counters =
-    { c_stored = 0; c_visited = 0; c_eager = 0; c_backtracks = 0;
-      c_max_depth = 0 }
-  in
   let budget_hit = ref false in
   (* Collapse chains of forced immediate firings: when the fireable set
      is a singleton [0,0] transition, the semantics leaves no choice and
@@ -72,29 +86,10 @@ let find_schedule ?(options = default_options) model =
       | [] | _ :: _ -> (path_rev, s)
     else (path_rev, s)
   in
-  let firing_times tid (lo, hi) =
-    if
-      options.latest_release
-      &&
-      match model.Translate.meanings.(tid) with
-      | Meaning.Release _ -> true
-      | Meaning.Start | Meaning.End | Meaning.Phase_arrival _
-      | Meaning.Arrival _ | Meaning.Release_wait _ | Meaning.Grab _
-      | Meaning.Compute _
-      | Meaning.Unit_grab _ | Meaning.Unit_compute _ | Meaning.Excl_grab _
-      | Meaning.Finish _ | Meaning.Deadline_ok _ | Meaning.Deadline_miss _
-      | Meaning.Cycle_overrun
-      | Meaning.Precedence _ | Meaning.Msg_grant _ | Meaning.Msg_transfer _ ->
-        false
-    then
-      match hi with
-      | Time_interval.Finite hi when hi > lo -> [ lo; hi ]
-      | Time_interval.Finite _ | Time_interval.Infinity -> [ lo ]
-    else [ lo ]
-  in
   let rec dfs depth path_rev s =
     if depth > counters.c_max_depth then counters.c_max_depth <- depth;
     if Translate.is_final model s then raise (Found path_rev);
+    if cancel () then budget_hit := true;
     if
       (not (Translate.is_dead model s))
       && (not (State.Table.mem failed s))
@@ -118,7 +113,7 @@ let find_schedule ?(options = default_options) model =
                   in
                   dfs (depth + 1) path_rev s'
                 end)
-              (firing_times tid domain)
+              (firing_times options model tid domain)
         in
         List.iter try_candidate ordered;
         counters.c_backtracks <- counters.c_backtracks + 1;
@@ -126,14 +121,106 @@ let find_schedule ?(options = default_options) model =
       end
     end
   in
+  match
+    let path0, s0 = eager_advance [] (State.initial net) in
+    if Translate.is_final model s0 then raise (Found path0);
+    dfs 0 path0 s0
+  with
+  | () -> Error (if !budget_hit then Budget_exhausted else Infeasible)
+  | exception Found path_rev -> Ok (Schedule.of_actions (List.rev path_rev))
+
+(* --- incremental engine --------------------------------------------- *)
+(* One mutable [State.Incremental] engine walked push/pop by the DFS;
+   the failed-state memo stores packed byte states with memoized
+   hashes.  Candidate order, firing domains and counter updates mirror
+   the copy-based engine exactly, so both produce action-for-action
+   identical schedules and identical metrics. *)
+
+let find_schedule_incremental ~options ~cancel model counters =
+  let net = model.Translate.net in
+  let eng = State.Incremental.create net in
+  let view = Priority.view_of_engine eng in
+  let failed = Packed_state.Table.create 4096 in
+  let budget_hit = ref false in
+  let is_final () = State.Incremental.tokens eng model.Translate.final_place >= 1 in
+  let is_dead () =
+    List.exists
+      (fun pdm -> State.Incremental.tokens eng pdm > 0)
+      model.Translate.dead_places
+  in
+  (* fires eager singleton chains in place, extending [path_rev] *)
+  let rec eager_advance path_rev =
+    if options.partial_order && (not (is_final ())) && not (is_dead ()) then
+      match State.Incremental.fireable eng with
+      | [ tid ] when is_immediate net tid ->
+        counters.c_eager <- counters.c_eager + 1;
+        counters.c_visited <- counters.c_visited + 1;
+        State.Incremental.fire eng tid 0;
+        eager_advance ((tid, 0) :: path_rev)
+      | [] | _ :: _ -> path_rev
+    else path_rev
+  in
+  let rec dfs depth path_rev =
+    if depth > counters.c_max_depth then counters.c_max_depth <- depth;
+    if is_final () then raise (Found path_rev);
+    if cancel () then budget_hit := true;
+    if (not (is_dead ())) && not !budget_hit then begin
+      let key = Packed_state.of_engine eng in
+      if not (Packed_state.Table.mem failed key) then begin
+        if counters.c_stored >= options.max_stored then budget_hit := true
+        else begin
+          counters.c_stored <- counters.c_stored + 1;
+          counters.c_visited <- counters.c_visited + 1;
+          let ordered =
+            Priority.order_view options.policy model view
+              (State.Incremental.fireable eng)
+          in
+          (* domains must be read before any child mutates the engine *)
+          let plans =
+            List.map
+              (fun tid -> (tid, State.Incremental.firing_domain eng tid))
+              ordered
+          in
+          let here = State.Incremental.depth eng in
+          let try_candidate (tid, domain) =
+            if not !budget_hit then
+              List.iter
+                (fun q ->
+                  if not !budget_hit then begin
+                    State.Incremental.fire eng tid q;
+                    let path_rev = eager_advance ((tid, q) :: path_rev) in
+                    dfs (depth + 1) path_rev;
+                    State.Incremental.undo_to eng here
+                  end)
+                (firing_times options model tid domain)
+          in
+          List.iter try_candidate plans;
+          counters.c_backtracks <- counters.c_backtracks + 1;
+          Packed_state.Table.replace failed key ()
+        end
+      end
+    end
+  in
+  match
+    let path0 = eager_advance [] in
+    if is_final () then raise (Found path0);
+    dfs 0 path0
+  with
+  | () -> Error (if !budget_hit then Budget_exhausted else Infeasible)
+  | exception Found path_rev -> Ok (Schedule.of_actions (List.rev path_rev))
+
+let no_cancel () = false
+
+let find_schedule ?(options = default_options) ?(cancel = no_cancel) model =
+  let started = Unix.gettimeofday () in
+  let counters =
+    { c_stored = 0; c_visited = 0; c_eager = 0; c_backtracks = 0;
+      c_max_depth = 0 }
+  in
   let outcome =
-    match
-      let path0, s0 = eager_advance [] (State.initial net) in
-      if Translate.is_final model s0 then raise (Found path0);
-      dfs 0 path0 s0
-    with
-    | () -> Error (if !budget_hit then Budget_exhausted else Infeasible)
-    | exception Found path_rev -> Ok (Schedule.of_actions (List.rev path_rev))
+    if options.incremental then
+      find_schedule_incremental ~options ~cancel model counters
+    else find_schedule_copying ~options ~cancel model counters
   in
   let metrics =
     {

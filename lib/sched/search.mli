@@ -1,7 +1,20 @@
 (** Pre-runtime schedule synthesis (paper §4.4.1): a depth-first search
     over the TLTS of the translated net, stopping at the desired final
     marking [MF], with partial-order reduction of deterministic
-    immediate firings and memoization of failed states. *)
+    immediate firings and memoization of failed states.
+
+    Two interchangeable engines implement the same search:
+
+    - the {e incremental} engine (default) walks one mutable
+      {!Ezrt_tpn.State.Incremental} state push/pop, firing in O(arcs)
+      instead of O(|T|·|F|), and memoizes failed states as packed byte
+      strings ({!Ezrt_tpn.Packed_state}) with memoized hashes;
+    - the {e copying} engine is the original immutable-state
+      implementation, kept as the semantic oracle and benchmark
+      baseline.
+
+    Both explore candidates in exactly the same order and produce
+    action-for-action identical schedules and identical metrics. *)
 
 type options = {
   policy : Priority.policy;  (** branch ordering; default [Edf] *)
@@ -14,6 +27,10 @@ type options = {
           time of release windows, allowing inserted idle time;
           default false (the paper's search is work-conserving) *)
   max_stored : int;  (** stored-state budget; default 500_000 *)
+  incremental : bool;
+      (** use the incremental engine with the packed failed-state
+          store; default true.  [false] selects the copy-based
+          reference engine. *)
 }
 
 val default_options : options
@@ -36,8 +53,14 @@ type metrics = {
 
 val find_schedule :
   ?options:options ->
+  ?cancel:(unit -> bool) ->
   Ezrt_blocks.Translate.t ->
   (Schedule.t, failure) result * metrics
 (** On success the returned schedule has been found by the DFS; callers
     can certify it independently with {!Schedule.replay} and
-    {!Validator.check}. *)
+    {!Validator.check}.
+
+    [cancel] is polled at every search node (default: never).  When it
+    returns [true] the search unwinds and reports
+    {!Budget_exhausted} — the hook the parallel portfolio uses to stop
+    losing configurations. *)

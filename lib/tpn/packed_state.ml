@@ -1,0 +1,84 @@
+(* Packed TLTS states for the search's memo tables.
+
+   A boxed [State.t] costs two int arrays plus a record — roughly
+   8 bytes per cell plus three headers — and hashing it walks boxed
+   arrays on every lookup.  Here a state is serialized once into a
+   [Bytes.t] of fixed-width little-endian cells (the narrowest of
+   16/32/64 bits that fits every cell, chosen per state so equal states
+   encode identically) with the full-width FNV-1a hash memoized next to
+   it.  A 500k-entry failed-state table shrinks by ~4x and lookups
+   reduce to a stored-int compare plus [Bytes.equal]. *)
+
+type t = {
+  data : bytes;
+  hash : int;
+}
+
+let width_tag_2 = '\002'
+let width_tag_4 = '\004'
+let width_tag_8 = '\008'
+
+let pack ~n_places ~n_transitions ~tokens ~clock =
+  let cells = n_places + n_transitions in
+  let cell i = if i < n_places then tokens i else clock (i - n_places) in
+  let h = ref State.fnv_basis in
+  let lo = ref 0 and hi = ref 0 in
+  for i = 0 to cells - 1 do
+    let v = cell i in
+    h := State.mix_cell !h v;
+    if v < !lo then lo := v;
+    if v > !hi then hi := v
+  done;
+  let data =
+    if !lo >= -0x8000 && !hi <= 0x7fff then begin
+      let data = Bytes.create (1 + (2 * cells)) in
+      Bytes.unsafe_set data 0 width_tag_2;
+      for i = 0 to cells - 1 do
+        Bytes.set_int16_le data (1 + (2 * i)) (cell i)
+      done;
+      data
+    end
+    else if !lo >= -0x40000000 && !hi <= 0x3fffffff then begin
+      let data = Bytes.create (1 + (4 * cells)) in
+      Bytes.unsafe_set data 0 width_tag_4;
+      for i = 0 to cells - 1 do
+        Bytes.set_int32_le data (1 + (4 * i)) (Int32.of_int (cell i))
+      done;
+      data
+    end
+    else begin
+      let data = Bytes.create (1 + (8 * cells)) in
+      Bytes.unsafe_set data 0 width_tag_8;
+      for i = 0 to cells - 1 do
+        Bytes.set_int64_le data (1 + (8 * i)) (Int64.of_int (cell i))
+      done;
+      data
+    end
+  in
+  { data; hash = !h }
+
+let of_state (s : State.t) =
+  pack
+    ~n_places:(Array.length s.State.marking)
+    ~n_transitions:(Array.length s.State.clocks)
+    ~tokens:(fun p -> s.State.marking.(p))
+    ~clock:(fun t -> s.State.clocks.(t))
+
+let of_engine e =
+  let net = State.Incremental.net e in
+  pack
+    ~n_places:(Pnet.place_count net)
+    ~n_transitions:(Pnet.transition_count net)
+    ~tokens:(State.Incremental.tokens e)
+    ~clock:(State.Incremental.clock e)
+
+let equal a b = a.hash = b.hash && Bytes.equal a.data b.data
+let hash p = p.hash
+let byte_size p = Bytes.length p.data
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,35 @@
+(** Packed TLTS states: a state serialized into a compact [Bytes.t]
+    with its full-width FNV-1a hash memoized, for the search's large
+    memo tables.  The encoding picks the narrowest cell width (16, 32
+    or 64-bit little-endian) that fits every marking/clock cell of the
+    state, so equal states always encode to equal bytes, and the hash
+    agrees with {!State.hash} on the same logical state. *)
+
+type t = private {
+  data : bytes;
+  hash : int;
+}
+
+val pack :
+  n_places:int ->
+  n_transitions:int ->
+  tokens:(Pnet.place_id -> int) ->
+  clock:(Pnet.transition_id -> int) ->
+  t
+(** Serialize from accessors ([clock] returning [-1] for disabled
+    transitions, as in {!State.t}). *)
+
+val of_state : State.t -> t
+
+val of_engine : State.Incremental.engine -> t
+(** Pack the engine's current state without materializing a
+    {!State.t}. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Memoized; equals [State.hash] of the corresponding state. *)
+
+val byte_size : t -> int
+
+module Table : Hashtbl.S with type key = t

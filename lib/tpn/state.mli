@@ -50,8 +50,79 @@ val fire : Pnet.t -> t -> Pnet.transition_id -> int -> t
     firing domain. *)
 
 val equal : t -> t -> bool
+
 val hash : t -> int
+(** FNV-1a over every marking and clock cell, mixing the full native
+    word of each cell. *)
+
+val mix_cell : int -> int -> int
+(** One FNV-1a round over a full word; exposed so packed encodings can
+    hash identically to {!hash}. *)
+
+val fnv_basis : int
+
 val pp : Pnet.t -> Format.formatter -> t -> unit
 
 (** Hash tables keyed by states. *)
 module Table : Hashtbl.S with type key = t
+
+val reset_write_counters : unit -> unit
+
+val write_counters : unit -> int * int * int
+(** [(copy_writes, incremental_writes, fires)] — state-vector cells
+    written by the copy-based {!fire} versus {!Incremental.fire}, and
+    total firings, since the last {!reset_write_counters}.  Benchmark
+    instrumentation; approximate under parallel search. *)
+
+(** Incremental firing engine: one mutable state, an undo trail for
+    depth-first backtracking, a maintained enabled-set so a firing only
+    inspects transitions adjacent to touched places, and a fused
+    candidate analysis.  Semantically equivalent to the copy-based
+    functions above (checked by the differential test suite); clock
+    values are represented as [now - enabled_at t]. *)
+module Incremental : sig
+  type engine
+
+  val create : Pnet.t -> engine
+  (** Fresh engine at the initial marking, depth 0. *)
+
+  val net : engine -> Pnet.t
+
+  val depth : engine -> int
+  (** Number of firings applied and not undone. *)
+
+  val now : engine -> int
+  (** Total elapsed time along the current firing path. *)
+
+  val tokens : engine -> Pnet.place_id -> int
+  val is_enabled : engine -> Pnet.transition_id -> bool
+
+  val clock : engine -> Pnet.transition_id -> int
+  (** [-1] when disabled, matching {!t}'s convention. *)
+
+  val dlb : engine -> Pnet.transition_id -> int
+  val dub : engine -> Pnet.transition_id -> Time_interval.bound
+  val min_dub : engine -> Time_interval.bound
+
+  val candidates : engine -> Pnet.transition_id list
+  (** Ascending transition order, like the copy-based {!candidates}. *)
+
+  val fireable : engine -> Pnet.transition_id list
+
+  val firing_domain :
+    engine -> Pnet.transition_id -> int * Time_interval.bound
+
+  val fire : engine -> Pnet.transition_id -> int -> unit
+  (** In-place firing; pushes an undo frame.  Raises
+      [Invalid_argument] exactly when the copy-based {!fire} would. *)
+
+  val undo : engine -> unit
+  (** Reverts the most recent un-undone firing.  Raises
+      [Invalid_argument] at depth 0. *)
+
+  val undo_to : engine -> int -> unit
+  (** [undo_to e d] pops firings until [depth e = d]. *)
+
+  val snapshot : engine -> t
+  (** Immutable copy of the current state (allocates). *)
+end

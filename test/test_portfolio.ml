@@ -1,0 +1,127 @@
+(* Parallel portfolio search: the winner must certify, sequential mode
+   must be deterministic, and infeasibility needs every config's vote. *)
+
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Schedule = Ezrt_sched.Schedule
+module Timeline = Ezrt_sched.Timeline
+module Validator = Ezrt_sched.Validator
+module Priority = Ezrt_sched.Priority
+module Portfolio = Ezrt_sched.Portfolio
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Case_studies = Ezrt_spec.Case_studies
+open Test_util
+
+let certify name model schedule =
+  let final = Schedule.replay model.Translate.net schedule in
+  check_bool (name ^ " replay reaches MF") true (Translate.is_final model final);
+  match Validator.check model (Timeline.of_schedule model schedule) with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "%s: %s" name (Validator.violation_to_string (List.hd vs))
+
+let test_mine_pump_wins () =
+  let model = Translate.translate Case_studies.mine_pump in
+  let result = Portfolio.find_schedule model in
+  match result.Portfolio.outcome with
+  | Ok schedule ->
+    certify "portfolio mine-pump" model schedule;
+    check_bool "has a winner" true (result.Portfolio.winner <> None);
+    check_bool "used at least one domain" true
+      (result.Portfolio.domains_used >= 1)
+  | Error f -> Alcotest.failf "mine-pump: %s" (Search.failure_to_string f)
+
+let test_all_case_studies () =
+  List.iter
+    (fun (name, spec) ->
+      if name <> "greedy-trap" then begin
+        let model = Translate.translate spec in
+        match (Portfolio.find_schedule model).Portfolio.outcome with
+        | Ok schedule -> certify name model schedule
+        | Error f -> Alcotest.failf "%s: %s" name (Search.failure_to_string f)
+      end)
+    Case_studies.all
+
+(* greedy-trap needs idle time at t=0; the portfolio must still find
+   and certify a schedule whichever config gets there first *)
+let test_greedy_trap () =
+  let model = Translate.translate Case_studies.greedy_trap in
+  let result = Portfolio.find_schedule model in
+  match result.Portfolio.outcome with
+  | Ok schedule ->
+    certify "greedy-trap" model schedule;
+    check_bool "feasible outcome names a winner" true
+      (result.Portfolio.winner <> None)
+  | Error f -> Alcotest.failf "greedy-trap: %s" (Search.failure_to_string f)
+
+let test_sequential_deterministic () =
+  let model = Translate.translate Case_studies.mine_pump in
+  let run () = Portfolio.find_schedule ~domains:1 model in
+  let a = run () and b = run () in
+  match (a.Portfolio.outcome, b.Portfolio.outcome) with
+  | Ok s1, Ok s2 ->
+    check_bool "same schedule on both runs" true
+      (s1.Schedule.entries = s2.Schedule.entries);
+    check_bool "same winner" true (a.Portfolio.winner = b.Portfolio.winner);
+    (* sequentially, the race stops at the first feasible config *)
+    check_bool "winner is the first attempt" true
+      (match a.Portfolio.attempts with
+      | first :: _ -> Result.is_ok first.Portfolio.outcome
+      | [] -> false)
+  | _ -> Alcotest.fail "sequential portfolio should be feasible"
+
+let unschedulable_pair =
+  Spec.make ~name:"tight"
+    ~tasks:
+      [
+        Task.make ~name:"a" ~wcet:5 ~deadline:5 ~period:10 ();
+        Task.make ~name:"b" ~wcet:5 ~deadline:6 ~period:10 ();
+      ]
+    ()
+
+let test_infeasible_unanimous () =
+  let model = Translate.translate unschedulable_pair in
+  let result = Portfolio.find_schedule model in
+  (match result.Portfolio.outcome with
+  | Error Search.Infeasible -> ()
+  | Error Search.Budget_exhausted -> Alcotest.fail "expected a full verdict"
+  | Ok _ -> Alcotest.fail "unschedulable pair got a schedule");
+  check_bool "no winner" true (result.Portfolio.winner = None);
+  (* infeasibility is a proof: every config must have voted *)
+  check_int "all configs finished"
+    (List.length (Portfolio.default_configs model))
+    (List.length result.Portfolio.attempts)
+
+let test_custom_configs () =
+  let model = Translate.translate Case_studies.quickstart in
+  let configs =
+    [
+      {
+        Portfolio.engine = Portfolio.Discrete;
+        policy = Priority.Edf;
+        latest_release = false;
+      };
+    ]
+  in
+  let result = Portfolio.find_schedule ~configs model in
+  match result.Portfolio.outcome with
+  | Ok schedule ->
+    (* a single-config portfolio must agree with the plain search *)
+    let direct, _ = Search.find_schedule model in
+    (match direct with
+    | Ok s ->
+      check_bool "matches direct search" true
+        (s.Schedule.entries = schedule.Schedule.entries)
+    | Error _ -> Alcotest.fail "direct search disagrees")
+  | Error f -> Alcotest.failf "quickstart: %s" (Search.failure_to_string f)
+
+let suite =
+  [
+    case "mine-pump: portfolio wins and certifies" test_mine_pump_wins;
+    slow_case "all case studies certify" test_all_case_studies;
+    case "greedy-trap certifies" test_greedy_trap;
+    case "sequential mode is deterministic" test_sequential_deterministic;
+    case "infeasible needs a unanimous verdict" test_infeasible_unanimous;
+    case "custom single-config portfolio" test_custom_configs;
+  ]
