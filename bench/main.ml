@@ -871,6 +871,30 @@ let a14 () =
       ("greedy-trap", Case_studies.greedy_trap);
     ]
 
+(* --- A15: differential fuzzing throughput ------------------------------ *)
+
+let a15 () =
+  section "A15" "Differential fuzzing throughput (5 engines + oracles per spec)";
+  let stats = Fuzz.run ~profile:Spec_gen.smoke ~seed:7 ~count:150 () in
+  Format.printf
+    "%d specs (seed %d): %d feasible, %d infeasible, %d inconclusive, %d \
+     divergent in %.1f s — %.1f specs/s@."
+    stats.Fuzz.generated stats.Fuzz.seed stats.Fuzz.feasible
+    stats.Fuzz.infeasible stats.Fuzz.unknown
+    (List.length stats.Fuzz.divergent)
+    stats.Fuzz.elapsed_s (Fuzz.specs_per_s stats);
+  add_json "A15_fuzz_differential"
+    [
+      ("seed", jint stats.Fuzz.seed);
+      ("specs", jint stats.Fuzz.generated);
+      ("feasible", jint stats.Fuzz.feasible);
+      ("infeasible", jint stats.Fuzz.infeasible);
+      ("inconclusive", jint stats.Fuzz.unknown);
+      ("divergent", jint (List.length stats.Fuzz.divergent));
+      ("elapsed_s", jfloat stats.Fuzz.elapsed_s);
+      ("specs_per_s", jfloat (Fuzz.specs_per_s stats));
+    ]
+
 (* --- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let bechamel_suite () =
@@ -984,6 +1008,7 @@ let () =
   a12 ();
   a13 ();
   a14 ();
+  a15 ();
   bechamel_suite ();
   write_json "BENCH_search.json";
   Format.printf "@.wrote BENCH_search.json@.";

@@ -502,10 +502,96 @@ let compare_cmd =
              synthesis.")
     Term.(const run $ file_arg $ case_arg)
 
+(* --- fuzz ----------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"PRNG seed; the whole campaign is a pure function of it.")
+  in
+  let count_arg =
+    Arg.(value & opt (some int) None & info [ "count" ] ~docv:"K"
+           ~doc:"Number of specifications to generate (default 200, or 60 \
+                 with $(b,--smoke)).")
+  in
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Small, fast profile for CI: fewer tasks, lower utilization \
+                 and a 60-spec default count.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Write each shrunken divergent spec to DIR as DSL XML so the \
+                 regression suite replays it.")
+  in
+  let fuzz_max_states_arg =
+    Arg.(value & opt int 50_000 & info [ "max-states" ] ~docv:"N"
+           ~doc:"Per-engine stored-state budget; exhausting it yields an \
+                 inconclusive verdict, not a divergence.")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ]
+           ~doc:"Report divergent specs as generated, without minimizing \
+                 them first.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary line.")
+  in
+  let run seed count smoke corpus max_stored no_shrink quiet =
+    let profile = if smoke then Spec_gen.smoke else Spec_gen.default in
+    let count =
+      match count with Some c -> c | None -> if smoke then 60 else 200
+    in
+    let log =
+      if quiet then None
+      else
+        Some
+          (fun index _spec (report : Differ.report) ->
+            if report.Differ.divergences <> [] then
+              Printf.printf "spec %d: DIVERGENT\n%!" index
+            else if (index + 1) mod 50 = 0 then
+              Printf.printf "checked %d/%d specs\n%!" (index + 1) count)
+    in
+    let stats =
+      Fuzz.run ~profile ~max_stored ~shrink:(not no_shrink) ?log ~seed ~count ()
+    in
+    Printf.printf
+      "fuzz: seed %d, %d specs in %.1f s (%.1f specs/s) — %d feasible, %d \
+       infeasible, %d inconclusive, %d divergent\n"
+      stats.Fuzz.seed stats.Fuzz.generated stats.Fuzz.elapsed_s
+      (Fuzz.specs_per_s stats) stats.Fuzz.feasible stats.Fuzz.infeasible
+      stats.Fuzz.unknown
+      (List.length stats.Fuzz.divergent);
+    List.iter
+      (fun (d : Fuzz.divergent) ->
+        Printf.printf "divergence at spec %d (%d tasks, shrunk to %d):\n"
+          d.Fuzz.index
+          (List.length d.Fuzz.spec.Spec.tasks)
+          (List.length d.Fuzz.shrunk.Spec.tasks);
+        List.iter
+          (fun div ->
+            Printf.printf "  - %s\n" (Differ.divergence_to_string div))
+          d.Fuzz.divergences)
+      stats.Fuzz.divergent;
+    (match corpus with
+    | Some dir ->
+      List.iter
+        (fun path -> Printf.printf "wrote %s\n" path)
+        (Fuzz.write_corpus ~dir stats)
+    | None -> ());
+    if stats.Fuzz.divergent <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differentially fuzz the synthesis engines on random \
+             specifications.")
+    Term.(const run $ seed_arg $ count_arg $ smoke_arg $ corpus_arg
+          $ fuzz_max_states_arg $ no_shrink_arg $ quiet_arg)
+
 let main_cmd =
   let doc = "embedded hard real-time software synthesis (ezRealtime)" in
   Cmd.group (Cmd.info "ezrt" ~version ~doc)
     [ check_cmd; info_cmd; model_cmd; schedule_cmd; analyze_cmd;
-      model_check_cmd; codegen_cmd; simulate_cmd; compare_cmd ]
+      model_check_cmd; codegen_cmd; simulate_cmd; compare_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -242,3 +242,10 @@ let simulate ?(faults = []) policy spec =
     segments = List.rev !segments;
     preemptions = !preemptions;
   }
+
+let any_feasible ?(policies = List.map snd all_policies) spec =
+  List.find_map
+    (fun policy ->
+      let result = simulate policy spec in
+      if result.feasible then Some (policy, result) else None)
+    policies

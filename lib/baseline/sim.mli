@@ -34,6 +34,14 @@ type fault = {
   f_extra : int;  (** execution-time overrun beyond the WCET *)
 }
 
+val any_feasible :
+  ?policies:policy list -> Ezrt_spec.Spec.t -> (policy * result) option
+(** The first policy (default: EDF, RM, DM in order) whose simulation
+    meets every deadline, with its result.  A feasible runtime
+    simulation is a constructive witness that the specification is
+    schedulable, which the differential fuzzer holds against
+    [Infeasible] verdicts of the exhaustive engines. *)
+
 val simulate : ?faults:fault list -> policy -> Ezrt_spec.Spec.t -> result
 (** Raises [Failure] when the specification does not validate.
 

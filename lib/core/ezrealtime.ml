@@ -46,6 +46,11 @@ module Vm = Ezrt_runtime.Vm
 module Baseline_sim = Ezrt_baseline.Sim
 module Baseline_compare = Ezrt_baseline.Compare
 module Rta = Ezrt_baseline.Rta
+module Rng = Ezrt_gen.Rng
+module Spec_gen = Ezrt_gen.Spec_gen
+module Differ = Ezrt_gen.Differ
+module Shrink = Ezrt_gen.Shrink
+module Fuzz = Ezrt_gen.Fuzz
 
 type artifact = {
   spec : Spec.t;

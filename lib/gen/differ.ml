@@ -1,0 +1,262 @@
+module Spec = Ezrt_spec.Spec
+module Validate = Ezrt_spec.Validate
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Class_search = Ezrt_sched.Class_search
+module Portfolio = Ezrt_sched.Portfolio
+module Schedule = Ezrt_sched.Schedule
+module Validator = Ezrt_sched.Validator
+module Sim = Ezrt_baseline.Sim
+module Rta = Ezrt_baseline.Rta
+
+type verdict =
+  | Feasible of Schedule.t
+  | Infeasible
+  | Unknown of string
+
+let verdict_to_string = function
+  | Feasible s -> Printf.sprintf "feasible (%d firings)" (Schedule.length s)
+  | Infeasible -> "infeasible"
+  | Unknown why -> Printf.sprintf "unknown (%s)" why
+
+type engine_result = {
+  engine : string;
+  verdict : verdict;
+}
+
+type divergence =
+  | Invalid_input of string
+  | Translation_crash of string
+  | Verdict_mismatch of {
+      engine_a : string;
+      verdict_a : string;
+      engine_b : string;
+      verdict_b : string;
+      reason : string;
+    }
+  | Schedule_mismatch of { engine_a : string; engine_b : string }
+  | Uncertified of { engine : string; failure : string }
+  | Extraction_failed
+  | Runtime_beats_synthesis of { policy : string }
+  | Rta_beats_synthesis
+  | Overutilized_feasible of float
+  | Engine_crash of { engine : string; exn : string }
+
+let divergence_to_string = function
+  | Invalid_input msg -> Printf.sprintf "spec does not validate: %s" msg
+  | Translation_crash msg -> Printf.sprintf "translation crashed: %s" msg
+  | Verdict_mismatch { engine_a; verdict_a; engine_b; verdict_b; reason } ->
+    Printf.sprintf "%s says %s but %s says %s (%s)" engine_a verdict_a
+      engine_b verdict_b reason
+  | Schedule_mismatch { engine_a; engine_b } ->
+    Printf.sprintf "%s and %s found different schedules (must be \
+                    action-identical)" engine_a engine_b
+  | Uncertified { engine; failure } ->
+    Printf.sprintf "%s produced an uncertified schedule: %s" engine failure
+  | Extraction_failed -> "class engine failed to extract a concrete schedule"
+  | Runtime_beats_synthesis { policy } ->
+    Printf.sprintf
+      "exhaustive search says infeasible but a certified %s simulation \
+       meets every deadline"
+      policy
+  | Rta_beats_synthesis ->
+    "exhaustive search says infeasible but response-time analysis proves \
+     the task set schedulable"
+  | Overutilized_feasible u ->
+    Printf.sprintf "feasible verdict at utilization %.3f > 1" u
+  | Engine_crash { engine; exn } ->
+    Printf.sprintf "%s raised %s" engine exn
+
+type report = {
+  results : engine_result list;
+  divergences : divergence list;
+}
+
+let of_search = function
+  | Ok s -> Feasible s
+  | Error Search.Infeasible -> Infeasible
+  | Error Search.Budget_exhausted -> Unknown "stored-state budget exhausted"
+
+let feasible = function Feasible _ -> true | Infeasible | Unknown _ -> false
+
+let check ?(max_stored = 50_000) ?(extra = []) spec =
+  match (Validate.check spec).Validate.errors with
+  | e :: _ -> {
+      results = [];
+      divergences = [ Invalid_input (Validate.error_to_string e) ];
+    }
+  | [] -> (
+    match Translate.translate spec with
+    | exception exn ->
+      { results = []; divergences = [ Translation_crash (Printexc.to_string exn) ] }
+    | model ->
+      let divergences = ref [] in
+      let flag d = divergences := d :: !divergences in
+      let guard engine f =
+        match f () with
+        | v -> v
+        | exception exn ->
+          flag (Engine_crash { engine; exn = Printexc.to_string exn });
+          Unknown "crashed"
+      in
+      let discrete ~incremental ~latest_release () =
+        of_search
+          (fst
+             (Search.find_schedule
+                ~options:
+                  {
+                    Search.default_options with
+                    incremental;
+                    latest_release;
+                    max_stored;
+                  }
+                model))
+      in
+      let reference =
+        guard "reference" (discrete ~incremental:false ~latest_release:false)
+      in
+      let incremental =
+        guard "incremental" (discrete ~incremental:true ~latest_release:false)
+      in
+      let latest =
+        guard "latest-release" (discrete ~incremental:true ~latest_release:true)
+      in
+      let classes =
+        guard "classes" (fun () ->
+            match fst (Class_search.find_schedule ~max_stored model) with
+            | Ok s -> Feasible s
+            | Error Class_search.Infeasible -> Infeasible
+            | Error Class_search.Budget_exhausted ->
+              Unknown "stored-state budget exhausted"
+            | Error Class_search.Extraction_failed ->
+              flag Extraction_failed;
+              Unknown "extraction failed")
+      in
+      let portfolio =
+        guard "portfolio" (fun () ->
+            match
+              (Portfolio.find_schedule ~max_stored ~domains:1 model)
+                .Portfolio.outcome
+            with
+            | Ok s -> Feasible s
+            | Error Search.Infeasible -> Infeasible
+            | Error Search.Budget_exhausted ->
+              Unknown "stored-state budget exhausted")
+      in
+      let extra_results =
+        List.map
+          (fun (name, run) -> (name, guard name (fun () -> run ~max_stored model)))
+          extra
+      in
+      let results =
+        [
+          ("reference", reference);
+          ("incremental", incremental);
+          ("latest-release", latest);
+          ("classes", classes);
+          ("portfolio", portfolio);
+        ]
+        @ extra_results
+      in
+      (* (a) every feasible schedule must be certified independently *)
+      List.iter
+        (fun (engine, verdict) ->
+          match verdict with
+          | Feasible schedule -> (
+            match Validator.certify model schedule with
+            | Ok _ -> ()
+            | Error failure ->
+              flag
+                (Uncertified
+                   {
+                     engine;
+                     failure = Validator.certification_failure_to_string failure;
+                   }))
+          | Infeasible | Unknown _ -> ())
+        results;
+      (* (b) the reference and incremental engines walk the identical
+         tree: verdicts and schedules must match exactly *)
+      let mismatch a va b vb reason =
+        flag
+          (Verdict_mismatch
+             {
+               engine_a = a;
+               verdict_a = verdict_to_string va;
+               engine_b = b;
+               verdict_b = verdict_to_string vb;
+               reason;
+             })
+      in
+      (match reference, incremental with
+      | Feasible a, Feasible b ->
+        if a.Schedule.entries <> b.Schedule.entries then
+          flag
+            (Schedule_mismatch
+               { engine_a = "reference"; engine_b = "incremental" })
+      | Infeasible, Infeasible -> ()
+      | Unknown _, Unknown _ -> ()
+      | a, b ->
+        mismatch "reference" a "incremental" b
+          "the two discrete engines must explore the same tree");
+      (* extra engines claim default discrete semantics *)
+      List.iter
+        (fun (name, verdict) ->
+          match reference, verdict with
+          | Feasible _, Infeasible | Infeasible, Feasible _ ->
+            mismatch "reference" reference name verdict
+              "engine claims default discrete search semantics"
+          | _ -> ())
+        extra_results;
+      (* (c) implication lattice between decisive verdicts *)
+      if feasible reference && classes = Infeasible then
+        mismatch "reference" reference "classes" classes
+          "dense-time state classes are complete";
+      if feasible latest && classes = Infeasible then
+        mismatch "latest-release" latest "classes" classes
+          "dense-time state classes are complete";
+      if feasible reference && latest = Infeasible then
+        mismatch "reference" reference "latest-release" latest
+          "latest-release branching explores a superset";
+      if
+        (feasible reference || feasible latest || feasible classes)
+        && portfolio = Infeasible
+      then
+        mismatch "portfolio" portfolio "classes" classes
+          "the portfolio races all of these configurations";
+      if
+        feasible portfolio && reference = Infeasible && latest = Infeasible
+        && classes = Infeasible
+      then
+        mismatch "portfolio" portfolio "classes" classes
+          "the portfolio has no engine outside these configurations";
+      (* (d) feasibility is impossible above full utilization *)
+      let u = Spec.utilization spec in
+      if u > 1.0 +. 1e-9 && List.exists (fun (_, v) -> feasible v) results then
+        flag (Overutilized_feasible u);
+      (* (e) infeasible verdicts of the exhaustive engines against the
+         constructive and analytic baselines.  Gated on the class
+         engine's verdict: it is the complete one, so a certified
+         witness against it is a contradiction, never noise (the
+         work-conserving discrete engines may legitimately miss
+         schedules that need inserted idle time). *)
+      if classes = Infeasible then begin
+        (match Sim.any_feasible spec with
+        | Some (policy, result) -> (
+          (* only a simulation the independent validator certifies is a
+             witness; Sim-internal quirks must not create noise *)
+          match Validator.check model result.Sim.segments with
+          | Ok () ->
+            flag
+              (Runtime_beats_synthesis { policy = Sim.policy_to_string policy })
+          | Error _ -> ())
+        | None -> ());
+        match Rta.analyze spec with
+        | Ok report when report.Rta.all_schedulable -> flag Rta_beats_synthesis
+        | Ok _ | Error _ -> ()
+      end;
+      {
+        results = List.map (fun (engine, verdict) -> { engine; verdict }) results;
+        divergences = List.rev !divergences;
+      })
+
+let failing ?max_stored spec = (check ?max_stored spec).divergences <> []

@@ -1,0 +1,79 @@
+(** Differential cross-checking of one specification across every
+    schedule-synthesis engine in the repository, plus the independent
+    oracles ({!Ezrt_sched.Validator}, {!Ezrt_baseline.Sim},
+    {!Ezrt_baseline.Rta}).
+
+    The sound relations checked — each a theorem about the engines,
+    so any violation is a bug, not noise:
+
+    - reference (copy-based) and incremental discrete search explore
+      the same order: identical verdicts {e and} action-identical
+      schedules;
+    - latest-release branching explores a superset of the
+      work-conserving search: feasible cannot become infeasible;
+    - the dense-time class engine is complete: anything any discrete
+      configuration schedules, it must too;
+    - the sequential portfolio subsumes its member engines' verdicts
+      in both directions;
+    - every feasible schedule must replay through the TPN semantics to
+      the final marking and pass the spec-level validator;
+    - an [Infeasible] verdict of an exhaustive engine is contradicted
+      by a certified runtime simulation (EDF/RM/DM) or a schedulable
+      response-time analysis, and a feasible verdict by utilization
+      above 1. *)
+
+type verdict =
+  | Feasible of Ezrt_sched.Schedule.t
+  | Infeasible
+  | Unknown of string
+      (** budget exhausted, extraction failure, engine crash — no
+          claim either way *)
+
+val verdict_to_string : verdict -> string
+
+type engine_result = {
+  engine : string;
+  verdict : verdict;
+}
+
+type divergence =
+  | Invalid_input of string  (** the spec does not validate *)
+  | Translation_crash of string
+  | Verdict_mismatch of {
+      engine_a : string;
+      verdict_a : string;
+      engine_b : string;
+      verdict_b : string;
+      reason : string;
+    }
+  | Schedule_mismatch of { engine_a : string; engine_b : string }
+      (** engines required to be action-identical disagree *)
+  | Uncertified of { engine : string; failure : string }
+  | Extraction_failed
+  | Runtime_beats_synthesis of { policy : string }
+      (** a certified priority-driven simulation schedules a spec the
+          exhaustive search called infeasible *)
+  | Rta_beats_synthesis
+  | Overutilized_feasible of float
+  | Engine_crash of { engine : string; exn : string }
+
+val divergence_to_string : divergence -> string
+
+type report = {
+  results : engine_result list;
+  divergences : divergence list;
+}
+
+val check :
+  ?max_stored:int ->
+  ?extra:(string * (max_stored:int -> Ezrt_blocks.Translate.t -> verdict)) list ->
+  Ezrt_spec.Spec.t ->
+  report
+(** Run every engine (bounded by [max_stored], default 50_000) and
+    every cross-check on one spec.  [extra] engines claim default
+    discrete search semantics: their verdict is compared against the
+    reference engine's and their schedules must certify — the hook the
+    tests use to prove an injected engine bug is caught. *)
+
+val failing : ?max_stored:int -> Ezrt_spec.Spec.t -> bool
+(** [divergences <> []] — the predicate handed to {!Shrink.minimize}. *)

@@ -1,0 +1,77 @@
+module Spec = Ezrt_spec.Spec
+module Dsl = Ezrt_spec.Dsl
+
+type divergent = {
+  index : int;
+  spec : Spec.t;
+  divergences : Differ.divergence list;
+  shrunk : Spec.t;
+}
+
+type stats = {
+  seed : int;
+  count : int;
+  generated : int;
+  feasible : int;
+  infeasible : int;
+  unknown : int;
+  divergent : divergent list;
+  elapsed_s : float;
+}
+
+let class_verdict (report : Differ.report) =
+  List.find_opt (fun r -> r.Differ.engine = "classes") report.Differ.results
+  |> Option.map (fun r -> r.Differ.verdict)
+
+let run ?(profile = Spec_gen.default) ?max_stored ?(shrink = true) ?log ~seed
+    ~count () =
+  let started = Unix.gettimeofday () in
+  let feasible = ref 0 and infeasible = ref 0 and unknown = ref 0 in
+  let divergent = ref [] in
+  for index = 0 to count - 1 do
+    let spec = Spec_gen.spec_at ~profile ~seed index in
+    let report = Differ.check ?max_stored spec in
+    (match log with Some f -> f index spec report | None -> ());
+    (match class_verdict report with
+    | Some (Differ.Feasible _) -> incr feasible
+    | Some Differ.Infeasible -> incr infeasible
+    | Some (Differ.Unknown _) | None -> incr unknown);
+    if report.Differ.divergences <> [] then begin
+      let shrunk =
+        if shrink then
+          Shrink.minimize ~failing:(Differ.failing ?max_stored) spec
+        else spec
+      in
+      divergent :=
+        { index; spec; divergences = report.Differ.divergences; shrunk }
+        :: !divergent
+    end
+  done;
+  {
+    seed;
+    count;
+    generated = count;
+    feasible = !feasible;
+    infeasible = !infeasible;
+    unknown = !unknown;
+    divergent = List.rev !divergent;
+    elapsed_s = Unix.gettimeofday () -. started;
+  }
+
+let specs_per_s stats =
+  if stats.elapsed_s > 0.0 then float_of_int stats.generated /. stats.elapsed_s
+  else 0.0
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let write_corpus ~dir stats =
+  if stats.divergent <> [] then ensure_dir dir;
+  List.map
+    (fun d ->
+      let path =
+        Filename.concat dir (Printf.sprintf "div-seed%d-i%d.xml" stats.seed d.index)
+      in
+      Dsl.save_file path d.shrunk;
+      path)
+    stats.divergent

@@ -1,0 +1,50 @@
+(* SplitMix64 (Steele, Lea & Flood 2014): a tiny, fast, well-mixed
+   generator with a one-word state, reproducible on any platform with
+   64-bit integers.  The fuzzer keys everything off it so a seed
+   reproduces a campaign exactly. *)
+
+type t = {
+  seed : int64;  (* remembered for [derive] *)
+  mutable state : int64;
+}
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let seed = Int64.of_int seed in
+  { seed; state = seed }
+
+let derive rng salt =
+  let seed =
+    mix (Int64.add rng.seed (Int64.mul (Int64.of_int (salt + 1)) golden))
+  in
+  { seed; state = seed }
+
+let next rng =
+  rng.state <- Int64.add rng.state golden;
+  mix rng.state
+
+(* 62 non-negative bits: enough for every bounded draw and immune to
+   [Int64.to_int] sign surprises. *)
+let bits rng = Int64.to_int (Int64.shift_right_logical (next rng) 2)
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits rng mod bound
+
+let int_in rng lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int rng (hi - lo + 1)
+
+let bool rng = Int64.logand (next rng) 1L = 1L
+let float rng = Stdlib.float_of_int (bits rng) /. 4611686018427387904.0
+let chance rng p = float rng < p
+let choose rng arr = arr.(int rng (Array.length arr))
+let sub_list rng ~keep xs = List.filter (fun _ -> chance rng keep) xs

@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator for the fuzzing
+    subsystem (SplitMix64).
+
+    [Random.State] would also be deterministic, but its stream is not
+    specified across OCaml releases; the fuzzer's whole value rests on
+    "same seed ⇒ same specs, byte for byte, forever", so the generator
+    is pinned down to an exact, trivially portable algorithm instead.
+    Streams can be derived ({!derive}) so spec [i] of a campaign does
+    not depend on how much randomness specs [0..i-1] consumed. *)
+
+type t
+
+val create : int -> t
+(** A fresh stream seeded from an integer. *)
+
+val derive : t -> int -> t
+(** [derive rng salt] is an independent stream deterministically keyed
+    by [rng]'s seed and [salt]; the parent stream is not advanced. *)
+
+val int : t -> int -> int
+(** [int rng bound] draws uniformly from [0 .. bound-1].
+    Raises [Invalid_argument] when [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in rng lo hi] draws uniformly from [lo .. hi] inclusive. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val chance : t -> float -> bool
+(** [chance rng p] is true with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sub_list : t -> keep:float -> 'a list -> 'a list
+(** Independent coin per element with probability [keep]. *)

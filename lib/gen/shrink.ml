@@ -1,0 +1,108 @@
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Message = Ezrt_spec.Message
+module Validate = Ezrt_spec.Validate
+
+let size (spec : Spec.t) =
+  let task_cost (t : Task.t) =
+    t.Task.wcet + t.Task.deadline + t.Task.period + t.Task.phase
+    + t.Task.release + t.Task.energy
+    + (match t.Task.mode with Task.Preemptive -> 1 | Task.Non_preemptive -> 0)
+    + (match t.Task.code with Some _ -> 1 | None -> 0)
+  in
+  (1000 * List.length spec.Spec.tasks)
+  + (10 * List.length spec.Spec.precedences)
+  + (10 * List.length spec.Spec.exclusions)
+  + (20 * List.length spec.Spec.messages)
+  + spec.Spec.disp_overhead
+  + List.fold_left (fun acc t -> acc + task_cost t) 0 spec.Spec.tasks
+
+let without xs rebuild =
+  List.mapi (fun i _ -> rebuild (List.filteri (fun j _ -> j <> i) xs)) xs
+
+let candidates (spec : Spec.t) =
+  let drop_tasks =
+    List.map (fun (t : Task.t) -> Spec.drop_task spec t.Task.id) spec.Spec.tasks
+  in
+  let drop_messages =
+    without spec.Spec.messages (fun messages -> { spec with messages })
+  in
+  let drop_precedences =
+    without spec.Spec.precedences (fun precedences -> { spec with precedences })
+  in
+  let drop_exclusions =
+    without spec.Spec.exclusions (fun exclusions -> { spec with exclusions })
+  in
+  let zero_overhead =
+    if spec.Spec.disp_overhead > 0 then [ { spec with disp_overhead = 0 } ]
+    else []
+  in
+  let simplify_tasks =
+    List.concat_map
+      (fun (t : Task.t) ->
+        let set f = Spec.map_task spec t.Task.id f in
+        List.filter_map
+          (fun c -> c)
+          [
+            (if t.Task.phase > 0 then
+               Some (set (fun t -> { t with Task.phase = 0 }))
+             else None);
+            (if t.Task.release > 0 then
+               Some (set (fun t -> { t with Task.release = 0 }))
+             else None);
+            (if t.Task.energy > 0 then
+               Some (set (fun t -> { t with Task.energy = 0 }))
+             else None);
+            (if t.Task.code <> None then
+               Some (set (fun t -> { t with Task.code = None }))
+             else None);
+            (if t.Task.mode = Task.Preemptive then
+               Some (set (fun t -> { t with Task.mode = Task.Non_preemptive }))
+             else None);
+            (if t.Task.wcet > 1 then
+               Some (set (fun t -> { t with Task.wcet = 1 }))
+             else None);
+            (if t.Task.wcet > 1 then
+               Some (set (fun t -> { t with Task.wcet = t.Task.wcet / 2 }))
+             else None);
+            (* rounding the deadline up to the period removes the
+               tightness; rounding halfway keeps some of it *)
+            (if t.Task.deadline < t.Task.period then
+               Some (set (fun t -> { t with Task.deadline = t.Task.period }))
+             else None);
+            (if t.Task.period - t.Task.deadline > 1 then
+               Some
+                 (set (fun t ->
+                      {
+                        t with
+                        Task.deadline =
+                          t.Task.deadline
+                          + ((t.Task.period - t.Task.deadline) / 2);
+                      }))
+             else None);
+            (if t.Task.period > 1 then
+               Some (set (fun t -> { t with Task.period = t.Task.period / 2 }))
+             else None);
+          ])
+      spec.Spec.tasks
+  in
+  drop_tasks @ drop_messages @ drop_precedences @ drop_exclusions
+  @ zero_overhead @ simplify_tasks
+
+let minimize ?(max_steps = 500) ~failing spec =
+  let rec go steps spec =
+    if steps >= max_steps then spec
+    else
+      let current = size spec in
+      match
+        List.find_opt
+          (fun candidate ->
+            size candidate < current
+            && Validate.is_valid candidate
+            && failing candidate)
+          (candidates spec)
+      with
+      | Some smaller -> go (steps + 1) smaller
+      | None -> spec
+  in
+  go 0 spec

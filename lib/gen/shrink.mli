@@ -1,0 +1,29 @@
+(** Greedy counterexample minimization.
+
+    Given a failing specification (one on which {!Differ.check} finds
+    a divergence, or any other predicate), repeatedly applies the
+    simplest fail-preserving reduction until none applies: drop a
+    task, drop a relation or message, zero a phase/release/energy,
+    shrink a WCET, relax a deadline, halve a period, demote a task to
+    non-preemptive, strip source code.  Every accepted step keeps the
+    spec valid and strictly decreases a size measure, so the loop
+    terminates on a locally-minimal failing spec — small enough to
+    read, file, and replay from the regression corpus. *)
+
+val size : Ezrt_spec.Spec.t -> int
+(** The strictly-decreasing measure: task count dominates, then
+    relations, messages and parameter magnitudes. *)
+
+val candidates : Ezrt_spec.Spec.t -> Ezrt_spec.Spec.t list
+(** One-step reductions, most aggressive first.  Invalid candidates
+    are included; {!minimize} filters them. *)
+
+val minimize :
+  ?max_steps:int ->
+  failing:(Ezrt_spec.Spec.t -> bool) ->
+  Ezrt_spec.Spec.t ->
+  Ezrt_spec.Spec.t
+(** [minimize ~failing spec] assumes [failing spec]; returns a valid
+    spec on which [failing] still holds and no candidate reduction
+    does.  [max_steps] (default 500) bounds accepted reductions as a
+    safety net. *)

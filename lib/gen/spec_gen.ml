@@ -1,0 +1,208 @@
+module Task = Ezrt_spec.Task
+module Spec = Ezrt_spec.Spec
+module Message = Ezrt_spec.Message
+module Validate = Ezrt_spec.Validate
+module Time_interval = Ezrt_tpn.Time_interval
+
+type profile = {
+  min_tasks : int;
+  max_tasks : int;
+  preemptive_fraction : float;
+  precedence_density : float;
+  exclusion_density : float;
+  message_fraction : float;
+  utilization : float * float;
+  boundary_fraction : float;
+  boundary_utilization : float * float;
+  period_menus : int array array;
+  max_phase : int;
+}
+
+(* Period menus are harmonic-ish with small LCMs so the hyper-period —
+   and with it every engine's search space — stays small enough to run
+   five engines per spec at scale. *)
+let default =
+  {
+    min_tasks = 2;
+    max_tasks = 6;
+    preemptive_fraction = 0.35;
+    precedence_density = 0.3;
+    exclusion_density = 0.2;
+    message_fraction = 0.25;
+    utilization = (0.2, 0.75);
+    boundary_fraction = 0.35;
+    boundary_utilization = (0.8, 1.0);
+    period_menus =
+      [|
+        [| 10; 20; 40 |];
+        [| 12; 24; 48 |];
+        [| 10; 30; 30 |];
+        [| 16; 16; 32 |];
+        [| 20; 20; 20 |];
+      |];
+    max_phase = 3;
+  }
+
+let smoke =
+  {
+    default with
+    max_tasks = 4;
+    utilization = (0.2, 0.6);
+    boundary_fraction = 0.25;
+    boundary_utilization = (0.75, 0.95);
+  }
+
+let pick_range rng (lo, hi) = lo +. (Rng.float rng *. (hi -. lo))
+
+(* One candidate draw; may be invalid in rare corners (the caller
+   retries with a derived stream). *)
+let draw profile name rng =
+  let boundary = Rng.chance rng profile.boundary_fraction in
+  let menu = Rng.choose rng profile.period_menus in
+  let n = Rng.int_in rng profile.min_tasks profile.max_tasks in
+  let target_u =
+    pick_range rng
+      (if boundary then profile.boundary_utilization else profile.utilization)
+  in
+  let weights = Array.init n (fun _ -> 0.5 +. Rng.float rng) in
+  let weight_sum = Array.fold_left ( +. ) 0.0 weights in
+  let periods = Array.init n (fun _ -> Rng.choose rng menu) in
+  let wcets =
+    Array.init n (fun i ->
+        let share = target_u *. weights.(i) /. weight_sum in
+        let c =
+          int_of_float (Float.round (share *. float_of_int periods.(i)))
+        in
+        max 1 (min c periods.(i)))
+  in
+  (* trim back under the schedulability ceiling; U > 1 would not even
+     validate *)
+  let utilization () =
+    let u = ref 0.0 in
+    Array.iteri
+      (fun i c -> u := !u +. (float_of_int c /. float_of_int periods.(i)))
+      wcets;
+    !u
+  in
+  let rec trim () =
+    if utilization () > 0.995 then begin
+      let largest = ref (-1) in
+      Array.iteri
+        (fun i c ->
+          if c > 1 && (!largest < 0 || c > wcets.(!largest)) then largest := i)
+        wcets;
+      if !largest >= 0 then begin
+        wcets.(!largest) <- wcets.(!largest) - 1;
+        trim ()
+      end
+    end
+  in
+  trim ();
+  let tasks =
+    List.init n (fun i ->
+        let period = periods.(i) and wcet = wcets.(i) in
+        let deadline =
+          if boundary then
+            (* tight: at most ~50% slack over the WCET *)
+            min period (wcet + Rng.int rng (1 + (wcet / 2)))
+          else wcet + Rng.int rng (period - wcet + 1)
+        in
+        let release =
+          if deadline = wcet || Rng.chance rng 0.6 then 0
+          else Rng.int rng (deadline - wcet + 1)
+        in
+        let phase =
+          if Rng.chance rng 0.25 then Rng.int_in rng 0 profile.max_phase else 0
+        in
+        Task.make
+          ~name:(Printf.sprintf "t%d" i)
+          ~phase ~release ~wcet ~deadline ~period
+          ~mode:
+            (if Rng.chance rng profile.preemptive_fraction then Task.Preemptive
+             else Task.Non_preemptive)
+          ~energy:(Rng.int rng 4) ())
+  in
+  let task_arr = Array.of_list tasks in
+  let pairs p =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j -> if p i j then Some (i, j) else None)
+             (List.init n (fun j -> j))))
+  in
+  let id i = task_arr.(i).Task.id in
+  let equal_period i j = i < j && periods.(i) = periods.(j) in
+  let precedences =
+    List.map
+      (fun (i, j) -> (id i, id j))
+      (Rng.sub_list rng ~keep:profile.precedence_density (pairs equal_period))
+  in
+  let exclusions =
+    List.filter
+      (fun pair -> not (List.mem pair precedences))
+      (List.map
+         (fun (i, j) -> (id i, id j))
+         (Rng.sub_list rng ~keep:profile.exclusion_density
+            (pairs (fun i j -> i < j))))
+  in
+  let message_candidates =
+    List.filter
+      (fun (i, j) -> not (List.mem (id i, id j) precedences))
+      (pairs equal_period)
+  in
+  let messages =
+    if message_candidates = [] || not (Rng.chance rng profile.message_fraction)
+    then []
+    else begin
+      let i, j =
+        List.nth message_candidates (Rng.int rng (List.length message_candidates))
+      in
+      [
+        Message.make ~name:"m0" ~sender:(id i) ~receiver:(id j)
+          ~grant_time:(Rng.int rng 2) ~comm_time:(Rng.int rng 3) ();
+      ]
+    end
+  in
+  (* a message already orders its pair; a mutex on top of it only slows
+     the engines down without adding coverage *)
+  let exclusions =
+    List.filter
+      (fun pair ->
+        not
+          (List.exists
+             (fun (m : Message.t) ->
+               Spec.normalize_exclusion (m.Message.sender, m.Message.receiver)
+               = Spec.normalize_exclusion pair)
+             messages))
+      exclusions
+  in
+  Spec.make ~name ~tasks ~precedences ~exclusions ~messages ()
+
+let spec ?(profile = default) ?(name = "fuzz") rng =
+  let rec attempt k =
+    let candidate = draw profile name (if k = 0 then rng else Rng.derive rng k) in
+    if Validate.is_valid candidate then candidate
+    else if k < 50 then attempt (k + 1)
+    else
+      (* unreachable by construction; surface loudly rather than loop *)
+      Validate.check_exn candidate |> fun () -> candidate
+  in
+  attempt 0
+
+let spec_at ?(profile = default) ~seed index =
+  spec ~profile
+    ~name:(Printf.sprintf "fuzz-s%d-i%d" seed index)
+    (Rng.derive (Rng.create seed) index)
+
+let interval ?(max_eft = 20) ?(max_width = 20) rng =
+  let eft = Rng.int_in rng 0 max_eft in
+  if Rng.chance rng 0.15 then Time_interval.make_unbounded eft
+  else Time_interval.make eft (eft + Rng.int_in rng 0 max_width)
+
+let cell rng =
+  match Rng.int rng 5 with
+  | 0 -> Rng.int_in rng (-1) 8  (* the shapes real states are made of *)
+  | 1 -> Rng.choose rng [| -0x8000; -1; 0; 0x7fff |]  (* 16-bit edges *)
+  | 2 -> Rng.choose rng [| -0x40000000; -0x8001; 0x8000; 0x3fffffff |]
+  | 3 -> Rng.choose rng [| min_int; -0x40000001; 0x40000000; max_int |]
+  | _ -> Rng.int_in rng (-0x8000) 0x7fff

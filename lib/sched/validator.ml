@@ -163,6 +163,30 @@ let check model segments =
     spec.Spec.messages;
   match List.rev !violations with [] -> Ok () | vs -> Error vs
 
+type certification_failure =
+  | Replay_error of string
+  | Wrong_final_marking
+  | Violations of violation list
+
+let certification_failure_to_string = function
+  | Replay_error msg -> Printf.sprintf "schedule does not replay: %s" msg
+  | Wrong_final_marking -> "replayed schedule does not reach the final marking"
+  | Violations vs ->
+    String.concat "; " (List.map violation_to_string vs)
+
+let certify model schedule =
+  match Schedule.replay model.Translate.net schedule with
+  | exception Invalid_argument msg -> Error (Replay_error msg)
+  | final ->
+    if not (Translate.is_final model final) then Error Wrong_final_marking
+    else (
+      match Timeline.of_schedule model schedule with
+      | exception Invalid_argument msg -> Error (Replay_error msg)
+      | segments -> (
+        match check model segments with
+        | Ok () -> Ok segments
+        | Error vs -> Error (Violations vs)))
+
 let check_exn model segments =
   match check model segments with
   | Ok () -> ()

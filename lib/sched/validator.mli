@@ -31,3 +31,22 @@ val check :
 
 val check_exn : Ezrt_blocks.Translate.t -> Timeline.segment list -> unit
 (** Raises [Failure] listing the violations. *)
+
+(** Full certification of a synthesized firing schedule: replay it
+    through the TPN semantics, require the final marking, derive the
+    timeline and run {!check}.  This is the one gate every engine's
+    output goes through in the differential fuzzer. *)
+
+type certification_failure =
+  | Replay_error of string
+      (** some step is illegal under the firing rule, or the timeline
+          cannot be derived *)
+  | Wrong_final_marking
+  | Violations of violation list
+
+val certification_failure_to_string : certification_failure -> string
+
+val certify :
+  Ezrt_blocks.Translate.t ->
+  Schedule.t ->
+  (Timeline.segment list, certification_failure) result

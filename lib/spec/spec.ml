@@ -61,6 +61,29 @@ let utilization spec =
       acc +. (float_of_int t.Task.wcet /. float_of_int t.Task.period))
     0.0 spec.tasks
 
+let drop_task spec id =
+  let keeps_pair (a, b) = not (String.equal a id || String.equal b id) in
+  {
+    spec with
+    tasks = List.filter (fun (t : Task.t) -> not (String.equal t.Task.id id)) spec.tasks;
+    precedences = List.filter keeps_pair spec.precedences;
+    exclusions = List.filter keeps_pair spec.exclusions;
+    messages =
+      List.filter
+        (fun (m : Message.t) ->
+          keeps_pair (m.Message.sender, m.Message.receiver))
+        spec.messages;
+  }
+
+let map_task spec id f =
+  {
+    spec with
+    tasks =
+      List.map
+        (fun (t : Task.t) -> if String.equal t.Task.id id then f t else t)
+        spec.tasks;
+  }
+
 let excluded_pairs spec = spec.exclusions
 
 let precedes spec a b =

@@ -55,6 +55,15 @@ val utilization : t -> float
 (** Processor utilization [sum ci / pi]; a value above 1.0 is
     structurally infeasible on one processor. *)
 
+val drop_task : t -> string -> t
+(** Remove the task with the given id together with every precedence,
+    exclusion and message involving it — the primitive the
+    counterexample shrinker reduces with. *)
+
+val map_task : t -> string -> (Task.t -> Task.t) -> t
+(** Rewrite one task in place (by id), leaving the rest of the
+    specification untouched. *)
+
 val excluded_pairs : t -> (string * string) list
 val precedes : t -> string -> string -> bool
 val excludes : t -> string -> string -> bool

@@ -72,6 +72,17 @@ let of_engine e =
     ~tokens:(State.Incremental.tokens e)
     ~clock:(State.Incremental.clock e)
 
+let unpack p =
+  let data = p.data in
+  let width = Char.code (Bytes.get data 0) in
+  let cells = (Bytes.length data - 1) / width in
+  Array.init cells (fun i ->
+      match width with
+      | 2 -> Bytes.get_int16_le data (1 + (2 * i))
+      | 4 -> Int32.to_int (Bytes.get_int32_le data (1 + (4 * i)))
+      | 8 -> Int64.to_int (Bytes.get_int64_le data (1 + (8 * i)))
+      | w -> invalid_arg (Printf.sprintf "Packed_state.unpack: width tag %d" w))
+
 let equal a b = a.hash = b.hash && Bytes.equal a.data b.data
 let hash p = p.hash
 let byte_size p = Bytes.length p.data

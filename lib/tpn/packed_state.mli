@@ -25,6 +25,11 @@ val of_engine : State.Incremental.engine -> t
 (** Pack the engine's current state without materializing a
     {!State.t}. *)
 
+val unpack : t -> int array
+(** Decode every cell back, in pack order: the [n_places] marking cells
+    followed by the [n_transitions] clock cells.  Inverse of {!pack}
+    for any cell width. *)
+
 val equal : t -> t -> bool
 
 val hash : t -> int

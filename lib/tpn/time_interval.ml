@@ -37,6 +37,16 @@ let is_point t =
 
 let contains t q = q >= t.eft && bound_le (Finite q) t.lft
 
+let intersect a b =
+  let eft = max a.eft b.eft in
+  let lft = bound_min a.lft b.lft in
+  if bound_le (Finite eft) lft then Some { eft; lft } else None
+
+let shift t q =
+  let eft = t.eft + q in
+  if eft < 0 then invalid_arg "Time_interval.shift: negative EFT";
+  { eft; lft = bound_add t.lft q }
+
 let bound_to_string = function
   | Finite x -> string_of_int x
   | Infinity -> "inf"

@@ -31,6 +31,15 @@ val lft : t -> bound
 val is_point : t -> bool
 val contains : t -> int -> bool
 
+val intersect : t -> t -> t option
+(** Set intersection of two intervals; [None] when they are disjoint.
+    The result contains exactly the instants contained in both. *)
+
+val shift : t -> int -> t
+(** [shift t q] translates both bounds by [q] (negative [q] shifts
+    toward zero).  Raises [Invalid_argument] when the shifted EFT
+    would become negative. *)
+
 val bound_min : bound -> bound -> bound
 val bound_le : bound -> bound -> bool
 val bound_add : bound -> int -> bound

@@ -1,0 +1,47 @@
+(* Golden-file tests: the PNML export and the generated C program for
+   a fixed corpus spec are compared byte-for-byte against checked-in
+   references, so any unintended change to either serializer shows up
+   as a readable diff.  Regenerate the files with:
+
+     dune exec bin/ezrt.exe -- model test/corpus/feasible-mix.xml \
+       -o test/golden/feasible-mix.pnml
+     dune exec bin/ezrt.exe -- codegen test/corpus/feasible-mix.xml \
+       -o test/golden/feasible-mix.c *)
+
+open Ezrealtime
+open Test_util
+
+let spec_path = Filename.concat "corpus" "feasible-mix.xml"
+let golden name = Filename.concat "golden" name
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_spec () =
+  match Dsl.load_file spec_path with
+  | Ok spec -> spec
+  | Error e -> Alcotest.fail (Dsl.error_to_string e)
+
+let test_pnml_golden () =
+  let model = Translate.translate (load_spec ()) in
+  check_string "PNML export matches the golden file"
+    (read_file (golden "feasible-mix.pnml"))
+    (Pnml.to_string model.Translate.net)
+
+let test_codegen_golden () =
+  match synthesize (load_spec ()) with
+  | Error e -> Alcotest.fail (error_to_string e)
+  | Ok artifact ->
+    check_string "generated C matches the golden file"
+      (read_file (golden "feasible-mix.c"))
+      artifact.c_program
+
+let suite =
+  [
+    case "pnml golden" test_pnml_golden;
+    case "codegen golden" test_codegen_golden;
+  ]

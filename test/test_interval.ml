@@ -86,6 +86,103 @@ let prop_bound_min_le =
       let m = Time_interval.bound_min a b in
       Time_interval.bound_le m a && Time_interval.bound_le m b)
 
+(* Algebra properties over the fuzzing generator's primitive interval
+   distribution (finite and unbounded intervals alike). *)
+
+let arb_interval_pair =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Ezrt_gen.Rng.create seed in
+        (Ezrt_gen.Spec_gen.interval rng, Ezrt_gen.Spec_gen.interval rng))
+      QCheck.Gen.int
+  in
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Time_interval.to_string a ^ " ∩ " ^ Time_interval.to_string b)
+    gen
+
+let arb_interval =
+  QCheck.map ~rev:(fun i -> (i, i)) fst arb_interval_pair
+
+(* the generator caps finite bounds at eft 20 + width 20; probing a
+   little past that also exercises the unbounded tails *)
+let sample_points = List.init 60 Fun.id
+
+let prop_intersect_membership =
+  qcheck "intersect contains exactly the common instants" arb_interval_pair
+    (fun (a, b) ->
+      List.for_all
+        (fun q ->
+          let in_both = Time_interval.contains a q && Time_interval.contains b q in
+          match Time_interval.intersect a b with
+          | Some i -> Time_interval.contains i q = in_both
+          | None -> not in_both)
+        sample_points)
+
+let prop_intersect_commutative =
+  qcheck "intersect commutative" arb_interval_pair (fun (a, b) ->
+      Option.equal Time_interval.equal
+        (Time_interval.intersect a b)
+        (Time_interval.intersect b a))
+
+let prop_intersect_idempotent =
+  qcheck "interval ∩ itself = itself" arb_interval (fun a ->
+      match Time_interval.intersect a a with
+      | Some i -> Time_interval.equal i a
+      | None -> false)
+
+let prop_shift_zero =
+  qcheck "shift by 0 is identity" arb_interval (fun a ->
+      Time_interval.equal (Time_interval.shift a 0) a)
+
+let prop_shift_composes =
+  qcheck "shift p then q = shift (p+q)"
+    QCheck.(triple arb_interval (int_bound 30) (int_bound 30))
+    (fun (a, p, q) ->
+      Time_interval.equal
+        (Time_interval.shift (Time_interval.shift a p) q)
+        (Time_interval.shift a (p + q)))
+
+let prop_shift_translates_membership =
+  qcheck "shift translates membership"
+    QCheck.(pair arb_interval (int_bound 30))
+    (fun (a, q) ->
+      List.for_all
+        (fun x ->
+          Time_interval.contains (Time_interval.shift a q) (x + q)
+          = Time_interval.contains a x)
+        sample_points)
+
+let prop_shift_back_roundtrip =
+  qcheck "shift up then down round-trips"
+    QCheck.(pair arb_interval (int_bound 30))
+    (fun (a, q) ->
+      Time_interval.equal (Time_interval.shift (Time_interval.shift a q) (-q)) a)
+
+let test_intersect_disjoint () =
+  check_bool "disjoint" true
+    (Time_interval.intersect (Time_interval.make 0 2) (Time_interval.make 5 9)
+     = None);
+  check_bool "touching" true
+    (match
+       Time_interval.intersect (Time_interval.make 0 5) (Time_interval.make 5 9)
+     with
+    | Some i -> Time_interval.equal i (Time_interval.point 5)
+    | None -> false);
+  check_bool "unbounded pair" true
+    (match
+       Time_interval.intersect (Time_interval.make_unbounded 3)
+         (Time_interval.make_unbounded 7)
+     with
+    | Some i -> Time_interval.equal i (Time_interval.make_unbounded 7)
+    | None -> false)
+
+let test_shift_negative_eft_rejected () =
+  Alcotest.check_raises "below zero"
+    (Invalid_argument "Time_interval.shift: negative EFT") (fun () ->
+      ignore (Time_interval.shift (Time_interval.make 2 5) (-3)))
+
 let suite =
   [
     case "make valid" test_make_valid;
@@ -100,4 +197,13 @@ let suite =
     prop_make_contains_bounds;
     prop_bound_min_commutative;
     prop_bound_min_le;
+    case "intersect edge cases" test_intersect_disjoint;
+    case "shift rejects negative eft" test_shift_negative_eft_rejected;
+    prop_intersect_membership;
+    prop_intersect_commutative;
+    prop_intersect_idempotent;
+    prop_shift_zero;
+    prop_shift_composes;
+    prop_shift_translates_membership;
+    prop_shift_back_roundtrip;
   ]

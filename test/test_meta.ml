@@ -1,0 +1,57 @@
+(* Meta-test: every test_*.ml module that defines a suite must be
+   registered in main.ml, so a new test file cannot silently never
+   run.  The test enumerates its own build directory (dune copies all
+   module sources next to the executable). *)
+
+open Test_util
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_modules () =
+  Sys.readdir "."
+  |> Array.to_list
+  |> List.filter (fun f ->
+         String.starts_with ~prefix:"test_" f && Filename.check_suffix f ".ml")
+  |> List.sort compare
+
+let test_every_suite_registered () =
+  let files = test_modules () in
+  check_bool "found the test modules" true (List.length files > 20);
+  let main = read_file "main.ml" in
+  let unregistered =
+    List.filter
+      (fun f ->
+        contains ~needle:"let suite" (read_file f)
+        && not
+             (contains
+                ~needle:
+                  (String.capitalize_ascii (Filename.remove_extension f)
+                  ^ ".suite")
+                main))
+      files
+  in
+  Alcotest.(check (list string))
+    "every test_*.ml with a suite is registered in main.ml" [] unregistered
+
+let test_known_suite_detected () =
+  (* sanity-check the detector itself on this very file *)
+  check_bool "this file defines a suite" true
+    (contains ~needle:"let suite" (read_file "test_meta.ml"));
+  check_bool "test_util has no suite" false
+    (contains ~needle:"let suite" (read_file "test_util.ml"))
+
+let suite =
+  [
+    case "every suite is registered" test_every_suite_registered;
+    case "detector sanity" test_known_suite_detected;
+  ]
