@@ -37,6 +37,25 @@ let jfloat f = Printf.sprintf "%.3f" f
 let jbool = string_of_bool
 let jstr s = Printf.sprintf "%S" s
 
+(* Run metadata, first entry in the file: lets CI distinguish schema
+   revisions and attribute a perf trajectory to the machine and
+   compiler that produced it. *)
+let record_meta () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let generated_utc =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  add_json "meta"
+    [
+      ("schema_version", jint 2);
+      ("generated_utc", jstr generated_utc);
+      ("hostname", jstr (Unix.gethostname ()));
+      ("ocaml_version", jstr Sys.ocaml_version);
+      ("ezrt_version", jstr version);
+    ]
+
 let states_per_s metrics =
   float_of_int metrics.Search.visited /. max 1e-9 metrics.Search.elapsed_s
 
@@ -845,15 +864,29 @@ let a14 () =
         | Some cfg -> Portfolio.config_to_string cfg
         | None -> "-"
       in
+      let cancelled =
+        List.length
+          (List.filter
+             (fun (a : Portfolio.attempt) -> a.Portfolio.cancelled)
+             result.Portfolio.attempts)
+      in
+      let loser_stored =
+        List.fold_left
+          (fun acc (a : Portfolio.attempt) ->
+            if Some a.Portfolio.config = result.Portfolio.winner then acc
+            else acc + a.Portfolio.metrics.Search.stored)
+          0 result.Portfolio.attempts
+      in
       Format.printf
-        "%-14s %s on %d domain(s), %d config(s) finished, %.1f ms (winner: \
-         %s)@."
+        "%-14s %s on %d domain(s), %d config(s) finished (%d cancelled, %d \
+         loser states), %.1f ms (winner: %s)@."
         name
         (match result.Portfolio.outcome with
         | Ok _ -> "feasible"
         | Error f -> Search.failure_to_string f)
         result.Portfolio.domains_used
         (List.length result.Portfolio.attempts)
+        cancelled loser_stored
         (result.Portfolio.elapsed_s *. 1000.)
         winner;
       add_json ("A14_portfolio_" ^ name)
@@ -863,6 +896,8 @@ let a14 () =
           ("winner", jstr winner);
           ("domains_used", jint result.Portfolio.domains_used);
           ("configs_finished", jint (List.length result.Portfolio.attempts));
+          ("configs_cancelled", jint cancelled);
+          ("loser_stored_states", jint loser_stored);
           ("elapsed_ms", jfloat (result.Portfolio.elapsed_s *. 1000.));
         ])
     [
@@ -984,8 +1019,40 @@ let bechamel_suite () =
         (nanos /. 1e6))
     (List.sort compare rows)
 
+(* The harness takes the same observability flags as ezrt: --trace FILE,
+   --metrics FILE and --progress.  No cmdliner here — a hand scan of
+   argv keeps bench dependency-free. *)
+let obs_setup () =
+  let argv = Sys.argv in
+  let n = Array.length argv in
+  let value_of flag =
+    let found = ref None in
+    for i = 1 to n - 2 do
+      if String.equal argv.(i) flag then found := Some argv.(i + 1)
+    done;
+    !found
+  in
+  let has flag = Array.exists (String.equal flag) argv in
+  (match value_of "--trace" with
+  | Some path ->
+    let sink = Obs_trace.create () in
+    Obs_trace.install sink;
+    at_exit (fun () ->
+        Obs_trace.save_file path sink;
+        Format.printf "trace written to %s@." path)
+  | None -> ());
+  (match value_of "--metrics" with
+  | Some path ->
+    at_exit (fun () ->
+        Obs_metrics.save_file path;
+        Format.printf "metrics written to %s@." path)
+  | None -> ());
+  if has "--progress" then Obs_progress.install (Obs_progress.create ())
+
 let () =
+  obs_setup ();
   Format.printf "ezRealtime benchmark harness (paper: DATE 2008)@.";
+  record_meta ();
   e1 ();
   e2 ();
   e3 ();

@@ -64,10 +64,52 @@ let or_die = function
 
 let with_spec file case f = f (or_die (load_spec file case))
 
+(* --- observability flags (accepted by every command) ----------------- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record begin/end spans and events of every synthesis phase \
+               and write them as Chrome trace-event JSON to FILE on exit \
+               (open at chrome://tracing or https://ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the counter registry as a Prometheus-style text dump \
+               to FILE on exit.")
+
+let progress_arg =
+  Arg.(value & flag & info [ "progress" ]
+         ~doc:"Print a throttled one-line progress report to stderr while \
+               searches and fuzz campaigns run.")
+
+(* Sinks are installed while cmdliner evaluates the term — before the
+   command body runs — and flushed via [at_exit] so early [exit 1]
+   paths still write their files. *)
+let obs_setup trace metrics progress =
+  (match trace with
+  | Some path ->
+    let sink = Obs_trace.create () in
+    Obs_trace.install sink;
+    at_exit (fun () ->
+        Obs_trace.save_file path sink;
+        Printf.eprintf "trace written to %s (%d events, %d dropped)\n%!" path
+          (min (Obs_trace.written sink) (Obs_trace.capacity sink))
+          (Obs_trace.dropped sink))
+  | None -> ());
+  (match metrics with
+  | Some path ->
+    at_exit (fun () ->
+        Obs_metrics.save_file path;
+        Printf.eprintf "metrics written to %s\n%!" path)
+  | None -> ());
+  if progress then Obs_progress.install (Obs_progress.create ())
+
+let obs_term = Term.(const obs_setup $ trace_arg $ metrics_arg $ progress_arg)
+
 (* --- check ---------------------------------------------------------- *)
 
 let check_cmd =
-  let run file case =
+  let run () file case =
     with_spec file case (fun spec ->
         let outcome = Validate.check spec in
         List.iter
@@ -85,12 +127,12 @@ let check_cmd =
           exit 1)
   in
   Cmd.v (Cmd.info "check" ~doc:"Validate a specification.")
-    Term.(const run $ file_arg $ case_arg)
+    Term.(const run $ obs_term $ file_arg $ case_arg)
 
 (* --- info ----------------------------------------------------------- *)
 
 let info_cmd =
-  let run file case =
+  let run () file case =
     with_spec file case (fun spec ->
         Format.printf "%a@." Spec.pp spec;
         List.iter
@@ -105,7 +147,7 @@ let info_cmd =
         Format.printf "%a@." Translate.pp_inventory model)
   in
   Cmd.v (Cmd.info "info" ~doc:"Print the specification and model summary.")
-    Term.(const run $ file_arg $ case_arg)
+    Term.(const run $ obs_term $ file_arg $ case_arg)
 
 (* --- model ---------------------------------------------------------- *)
 
@@ -122,7 +164,7 @@ let model_cmd =
     Arg.(value & opt (some string) None & info [ "tina" ] ~docv:"FILE"
            ~doc:"Write a TINA .net rendering here.")
   in
-  let run file case pnml dot tina =
+  let run () file case pnml dot tina =
     with_spec file case (fun spec ->
         let model = Translate.translate spec in
         Format.printf "%a@." Pnet.pp_summary model.Translate.net;
@@ -147,7 +189,8 @@ let model_cmd =
   Cmd.v
     (Cmd.info "model"
        ~doc:"Translate the specification to a time Petri net (PNML).")
-    Term.(const run $ file_arg $ case_arg $ pnml_out $ dot_out $ tina_out)
+    Term.(const run $ obs_term $ file_arg $ case_arg $ pnml_out $ dot_out
+          $ tina_out)
 
 (* --- schedule ------------------------------------------------------- *)
 
@@ -171,7 +214,7 @@ let vcd_arg =
          ~doc:"Write the timeline as a VCD waveform here.")
 
 let schedule_cmd =
-  let run file case policy no_po latest max_states engine gantt vcd =
+  let run () file case policy no_po latest max_states engine gantt vcd =
     with_spec file case (fun spec ->
         let finish artifact =
           Format.printf "%a" report artifact;
@@ -257,7 +300,7 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Synthesize a feasible pre-runtime schedule.")
-    Term.(const run $ file_arg $ case_arg $ policy_arg $ no_po_arg
+    Term.(const run $ obs_term $ file_arg $ case_arg $ policy_arg $ no_po_arg
           $ latest_arg $ max_states_arg $ engine_arg $ gantt_arg $ vcd_arg)
 
 (* --- analyze -------------------------------------------------------- *)
@@ -268,7 +311,7 @@ let analyze_cmd =
            ~doc:"Also run the WCET sensitivity analysis (one synthesis per \
                  binary-search probe).")
   in
-  let run file case sensitivity =
+  let run () file case sensitivity =
     with_spec file case (fun spec ->
         match synthesize spec with
         | Error e ->
@@ -298,7 +341,7 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Quality, response-time and robustness analysis of the \
              synthesized schedule.")
-    Term.(const run $ file_arg $ case_arg $ sensitivity_arg)
+    Term.(const run $ obs_term $ file_arg $ case_arg $ sensitivity_arg)
 
 (* --- model-check ----------------------------------------------------- *)
 
@@ -323,7 +366,7 @@ let model_check_cmd =
            ~doc:"With --classes: drop the FT priority filter (classical \
                  TPN semantics; over-approximates).")
   in
-  let run file case query max_states classes unprioritized =
+  let run () file case query max_states classes unprioritized =
     with_spec file case (fun spec ->
         let model = Translate.translate spec in
         match Query.parse query with
@@ -351,8 +394,8 @@ let model_check_cmd =
     (Cmd.info "model-check"
        ~doc:"Check a reachability property of the translated net (EF/AG \
              over marking atoms).")
-    Term.(const run $ file_arg $ case_arg $ query_arg $ max_states_mc
-          $ classes_flag $ unprioritized_flag)
+    Term.(const run $ obs_term $ file_arg $ case_arg $ query_arg
+          $ max_states_mc $ classes_flag $ unprioritized_flag)
 
 (* --- codegen -------------------------------------------------------- *)
 
@@ -371,7 +414,7 @@ let codegen_cmd =
            ~doc:"Emit the compact table layout (3 bytes per row) for \
                  flash-constrained parts.")
   in
-  let run file case target out compact =
+  let run () file case target out compact =
     with_spec file case (fun spec ->
         match synthesize ~target spec with
         | Ok artifact -> (
@@ -401,7 +444,7 @@ let codegen_cmd =
           exit 1)
   in
   Cmd.v (Cmd.info "codegen" ~doc:"Generate the scheduled C program.")
-    Term.(const run $ file_arg $ case_arg $ target_arg $ out_arg
+    Term.(const run $ obs_term $ file_arg $ case_arg $ target_arg $ out_arg
           $ compact_arg)
 
 (* --- simulate ------------------------------------------------------- *)
@@ -416,8 +459,9 @@ let simulate_cmd =
     Arg.(value & opt int 1 & info [ "cycles" ] ~docv:"N"
            ~doc:"Hyper-periods to simulate.")
   in
-  let trace_arg =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
+  let print_trace_arg =
+    Arg.(value & flag & info [ "print-trace" ]
+           ~doc:"Print the full event trace.")
   in
   let fault_arg =
     Arg.(value & opt_all (t3 ~sep:':' string int int) []
@@ -425,7 +469,7 @@ let simulate_cmd =
              ~doc:"Inject an execution-time overrun (task name, instance \
                    number, extra time units); repeatable.")
   in
-  let run file case overhead cycles trace faults =
+  let run () file case overhead cycles print_trace faults =
     with_spec file case (fun spec ->
         match synthesize spec with
         | Error e ->
@@ -447,7 +491,7 @@ let simulate_cmd =
             Vm.execute ?overhead ~cycles ~faults:vm_faults artifact.model
               artifact.table
           in
-          if trace then
+          if print_trace then
             List.iter
               (fun e ->
                 print_endline (Vm.event_to_string artifact.model e))
@@ -485,13 +529,13 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute the schedule table on the virtual target machine.")
-    Term.(const run $ file_arg $ case_arg $ overhead_arg $ cycles_arg
-          $ trace_arg $ fault_arg)
+    Term.(const run $ obs_term $ file_arg $ case_arg $ overhead_arg
+          $ cycles_arg $ print_trace_arg $ fault_arg)
 
 (* --- compare -------------------------------------------------------- *)
 
 let compare_cmd =
-  let run file case =
+  let run () file case =
     with_spec file case (fun spec ->
         let rows = Baseline_compare.run_all spec in
         Format.printf "%a" Baseline_compare.pp rows)
@@ -500,7 +544,7 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:"Compare runtime scheduling policies against the pre-runtime \
              synthesis.")
-    Term.(const run $ file_arg $ case_arg)
+    Term.(const run $ obs_term $ file_arg $ case_arg)
 
 (* --- fuzz ----------------------------------------------------------- *)
 
@@ -537,7 +581,7 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary line.")
   in
-  let run seed count smoke corpus max_stored no_shrink quiet =
+  let run () seed count smoke corpus max_stored no_shrink quiet =
     let profile = if smoke then Spec_gen.smoke else Spec_gen.default in
     let count =
       match count with Some c -> c | None -> if smoke then 60 else 200
@@ -585,7 +629,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Differentially fuzz the synthesis engines on random \
              specifications.")
-    Term.(const run $ seed_arg $ count_arg $ smoke_arg $ corpus_arg
+    Term.(const run $ obs_term $ seed_arg $ count_arg $ smoke_arg $ corpus_arg
           $ fuzz_max_states_arg $ no_shrink_arg $ quiet_arg)
 
 let main_cmd =

@@ -20,7 +20,18 @@ type t = {
   resource_places : Pnet.place_id list;
 }
 
-let translate spec =
+let rec translate spec =
+  Ezrt_obs.Trace.with_span ~cat:"model"
+    ~args:[ ("spec", Ezrt_obs.Trace.Str spec.Spec.name) ]
+    (fun () ->
+      Ezrt_obs.Metrics.time
+        (Ezrt_obs.Metrics.timer
+           ~help:"Wall-clock time spent translating specs to nets"
+           "ezrt_translate_duration")
+        (fun () -> translate_untraced spec))
+    "translate"
+
+and translate_untraced spec =
   Validate.check_exn spec;
   let tasks = Array.of_list spec.Spec.tasks in
   let n_tasks = Array.length tasks in

@@ -169,7 +169,18 @@ let isr_signature (target : Target.t) =
   then Printf.sprintf "void ezrt_timer_isr(void) %s" target.Target.isr_qualifier
   else Printf.sprintf "%s void ezrt_timer_isr(void)" target.Target.isr_qualifier
 
-let program ?(target = Target.hosted) ?(layout = Struct_table) model items =
+let rec program ?(target = Target.hosted) ?(layout = Struct_table) model items =
+  Ezrt_obs.Trace.with_span ~cat:"codegen"
+    ~args:[ ("target", Ezrt_obs.Trace.Str target.Target.name) ]
+    (fun () ->
+      Ezrt_obs.Metrics.time
+        (Ezrt_obs.Metrics.timer
+           ~help:"Wall-clock time spent emitting scheduled C"
+           "ezrt_codegen_duration")
+        (fun () -> program_untraced ~target ~layout model items))
+    "emit"
+
+and program_untraced ~target ~layout model items =
   (match layout with
   | Compact_table -> check_compact_limits model items
   | Struct_table -> ());

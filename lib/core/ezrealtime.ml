@@ -51,6 +51,9 @@ module Spec_gen = Ezrt_gen.Spec_gen
 module Differ = Ezrt_gen.Differ
 module Shrink = Ezrt_gen.Shrink
 module Fuzz = Ezrt_gen.Fuzz
+module Obs_trace = Ezrt_obs.Trace
+module Obs_metrics = Ezrt_obs.Metrics
+module Obs_progress = Ezrt_obs.Progress
 
 type artifact = {
   spec : Spec.t;
@@ -82,21 +85,29 @@ let error_to_string = function
 let version = "1.0.0"
 
 let synthesize ?search ?(target = Target.hosted) spec =
-  match (Validate.check spec).Validate.errors with
-  | _ :: _ as errors -> Error (Invalid_spec errors)
-  | [] -> (
-    let model = Translate.translate spec in
-    let outcome, metrics = Search.find_schedule ?options:search model in
-    match outcome with
-    | Error f -> Error (No_schedule (f, metrics))
-    | Ok schedule -> (
-      let segments = Timeline.of_schedule model schedule in
-      match Validator.check model segments with
-      | Error violations -> Error (Not_certified violations)
-      | Ok () ->
-        let table = Table.of_segments segments in
-        let c_program = Emit.program ~target model table in
-        Ok { spec; model; schedule; segments; table; c_program; metrics }))
+  Obs_trace.with_span ~cat:"synthesize"
+    ~args:[ ("spec", Obs_trace.Str spec.Spec.name) ]
+    (fun () ->
+      match (Validate.check spec).Validate.errors with
+      | _ :: _ as errors -> Error (Invalid_spec errors)
+      | [] -> (
+        let model = Translate.translate spec in
+        let outcome, metrics = Search.find_schedule ?options:search model in
+        match outcome with
+        | Error f -> Error (No_schedule (f, metrics))
+        | Ok schedule -> (
+          let segments = Timeline.of_schedule model schedule in
+          match
+            Obs_trace.with_span ~cat:"synthesize"
+              (fun () -> Validator.check model segments)
+              "certify"
+          with
+          | Error violations -> Error (Not_certified violations)
+          | Ok () ->
+            let table = Table.of_segments segments in
+            let c_program = Emit.program ~target model table in
+            Ok { spec; model; schedule; segments; table; c_program; metrics })))
+    "synthesize"
 
 let synthesize_exn ?search ?target spec =
   match synthesize ?search ?target spec with

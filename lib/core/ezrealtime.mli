@@ -69,6 +69,16 @@ module Differ = Ezrt_gen.Differ
 module Shrink = Ezrt_gen.Shrink
 module Fuzz = Ezrt_gen.Fuzz
 
+(** Observability (see [docs/OBSERVABILITY.md]): install an
+    {!Obs_trace} sink before synthesizing to capture Chrome-trace
+    spans of every pipeline phase, dump {!Obs_metrics} counters after
+    a run, or install an {!Obs_progress} reporter for a throttled
+    status line on stderr. *)
+
+module Obs_trace = Ezrt_obs.Trace
+module Obs_metrics = Ezrt_obs.Metrics
+module Obs_progress = Ezrt_obs.Progress
+
 (** {1 The synthesis pipeline} *)
 
 type artifact = {

@@ -23,20 +23,66 @@ let class_verdict (report : Differ.report) =
   List.find_opt (fun r -> r.Differ.engine = "classes") report.Differ.results
   |> Option.map (fun r -> r.Differ.verdict)
 
+(* Per-spec observability: one verdict counter bump per engine result,
+   so campaigns expose which engine said what how often. *)
+let obs_spec_result (report : Differ.report) =
+  let open Ezrt_obs in
+  List.iter
+    (fun (r : Differ.engine_result) ->
+      let verdict =
+        match r.Differ.verdict with
+        | Differ.Feasible _ -> "feasible"
+        | Differ.Infeasible -> "infeasible"
+        | Differ.Unknown _ -> "unknown"
+      in
+      Metrics.incr
+        (Metrics.counter ~help:"Fuzz verdicts by engine"
+           ~labels:[ ("engine", r.Differ.engine); ("verdict", verdict) ]
+           "ezrt_fuzz_engine_verdicts_total"))
+    report.Differ.results;
+  Metrics.incr
+    (Metrics.counter ~help:"Fuzzed specifications checked"
+       "ezrt_fuzz_specs_total");
+  if report.Differ.divergences <> [] then
+    Metrics.incr
+      (Metrics.counter ~help:"Fuzzed specifications that diverged"
+         "ezrt_fuzz_divergent_total")
+
 let run ?(profile = Spec_gen.default) ?max_stored ?(shrink = true) ?log ~seed
     ~count () =
   let started = Unix.gettimeofday () in
   let feasible = ref 0 and infeasible = ref 0 and unknown = ref 0 in
   let divergent = ref [] in
+  let done_specs = ref 0 in
+  let progress_snapshot () =
+    let dt = Unix.gettimeofday () -. started in
+    Printf.sprintf "fuzz[seed %d]: %d/%d specs, %.1f specs/s, %d divergent"
+      seed !done_specs count
+      (float_of_int !done_specs /. max 1e-9 dt)
+      (List.length !divergent)
+  in
+  Ezrt_obs.Trace.begin_span ~cat:"fuzz"
+    ~args:
+      [ ("seed", Ezrt_obs.Trace.Int seed); ("count", Ezrt_obs.Trace.Int count) ]
+    "fuzz-campaign";
+  Fun.protect
+    ~finally:(fun () -> Ezrt_obs.Trace.end_span ~cat:"fuzz" "fuzz-campaign")
+  @@ fun () ->
   for index = 0 to count - 1 do
+    Ezrt_obs.Trace.begin_span ~cat:"fuzz"
+      ~args:[ ("index", Ezrt_obs.Trace.Int index) ]
+      "fuzz-spec";
     let spec = Spec_gen.spec_at ~profile ~seed index in
     let report = Differ.check ?max_stored spec in
+    obs_spec_result report;
     (match log with Some f -> f index spec report | None -> ());
     (match class_verdict report with
     | Some (Differ.Feasible _) -> incr feasible
     | Some Differ.Infeasible -> incr infeasible
     | Some (Differ.Unknown _) | None -> incr unknown);
     if report.Differ.divergences <> [] then begin
+      Ezrt_obs.Trace.instant ~cat:"fuzz" "divergence"
+        ~args:[ ("index", Ezrt_obs.Trace.Int index) ];
       let shrunk =
         if shrink then
           Shrink.minimize ~failing:(Differ.failing ?max_stored) spec
@@ -45,7 +91,12 @@ let run ?(profile = Spec_gen.default) ?max_stored ?(shrink = true) ?log ~seed
       divergent :=
         { index; spec; divergences = report.Differ.divergences; shrunk }
         :: !divergent
-    end
+    end;
+    Ezrt_obs.Trace.end_span ~cat:"fuzz"
+      ~args:[ ("index", Ezrt_obs.Trace.Int index) ]
+      "fuzz-spec";
+    incr done_specs;
+    Ezrt_obs.Progress.checkpoint progress_snapshot
   done;
   {
     seed;

@@ -1,0 +1,133 @@
+type render =
+  | Count  (* plain integer *)
+  | Nanoseconds  (* cell holds ns, exported as seconds *)
+
+type counter = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  render : render;
+  cell : int Atomic.t;
+}
+
+(* keyed by (name, sorted labels); the mutex guards only registration,
+   increments go straight to the atomic cell *)
+let registry : (string * (string * string) list, counter) Hashtbl.t =
+  Hashtbl.create 64
+
+let registry_lock = Mutex.create ()
+
+let get_or_create ?(help = "") ?(labels = []) ~render name =
+  let labels = List.sort compare labels in
+  let key = (name, labels) in
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt registry key with
+    | Some c -> c
+    | None ->
+      let c = { name; labels; help; render; cell = Atomic.make 0 } in
+      Hashtbl.add registry key c;
+      c
+  in
+  Mutex.unlock registry_lock;
+  c
+
+let counter ?help ?labels name = get_or_create ?help ?labels ~render:Count name
+
+let add c n =
+  if n < 0 then
+    invalid_arg
+      (Printf.sprintf "Metrics.add: negative increment %d on %s" n c.name);
+  ignore (Atomic.fetch_and_add c.cell n)
+
+let incr c = add c 1
+let value c = Atomic.get c.cell
+
+type timer = {
+  ns : counter;
+  runs : counter;
+}
+
+let timer ?(help = "") ?labels name =
+  {
+    ns =
+      get_or_create ~help ?labels ~render:Nanoseconds
+        (name ^ "_seconds_total");
+    runs = get_or_create ~help ?labels ~render:Count (name ^ "_runs_total");
+  }
+
+let observe t seconds =
+  if seconds < 0.0 then invalid_arg "Metrics.observe: negative duration";
+  ignore (Atomic.fetch_and_add t.ns.cell (int_of_float (seconds *. 1e9)));
+  incr t.runs
+
+let time t f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe t (Unix.gettimeofday () -. t0)) f
+
+let timer_seconds t = float_of_int (Atomic.get t.ns.cell) /. 1e9
+let timer_runs t = value t.runs
+
+(* --- Prometheus text exposition -------------------------------------- *)
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let series_line c =
+  let labels =
+    match c.labels with
+    | [] -> ""
+    | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+  in
+  match c.render with
+  | Count -> Printf.sprintf "%s%s %d" c.name labels (Atomic.get c.cell)
+  | Nanoseconds ->
+    Printf.sprintf "%s%s %.9f" c.name labels
+      (float_of_int (Atomic.get c.cell) /. 1e9)
+
+let dump () =
+  Mutex.lock registry_lock;
+  let all = Hashtbl.fold (fun _ c acc -> c :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  let all =
+    List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels)) all
+  in
+  let b = Buffer.create 1024 in
+  let last_name = ref "" in
+  List.iter
+    (fun c ->
+      if c.name <> !last_name then begin
+        last_name := c.name;
+        if c.help <> "" then
+          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" c.name c.help);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" c.name)
+      end;
+      Buffer.add_string b (series_line c);
+      Buffer.add_char b '\n')
+    all;
+  Buffer.contents b
+
+let save_file path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (dump ()))
+
+let reset_all () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
+  Mutex.unlock registry_lock

@@ -152,27 +152,74 @@ let extract_exact (net : Pnet.t) sequence =
     end
   end
 
+let extraction_counter result =
+  Ezrt_obs.Metrics.incr
+    (Ezrt_obs.Metrics.counter
+       ~help:"Class-path realizations by extraction strategy"
+       ~labels:[ ("result", result) ]
+       "ezrt_class_extractions_total")
+
 let extract net sequence =
   match extract_greedy net sequence with
-  | Some schedule -> Some schedule
+  | Some schedule ->
+    extraction_counter "greedy";
+    Some schedule
   | None -> (
+    Ezrt_obs.Trace.instant ~cat:"search" "extract-greedy-failed";
     match extract_exact net sequence with
     | Some schedule -> (
       (* certify against the step semantics before handing it out *)
       match Schedule.replay net schedule with
-      | (_ : State.t) -> Some schedule
-      | exception Invalid_argument _ -> None)
-    | None -> None)
+      | (_ : State.t) ->
+        extraction_counter "exact";
+        Some schedule
+      | exception Invalid_argument _ ->
+        extraction_counter "failed";
+        Ezrt_obs.Trace.instant ~cat:"search" "extract-exact-failed";
+        None)
+    | None ->
+      extraction_counter "failed";
+      Ezrt_obs.Trace.instant ~cat:"search" "extract-exact-failed";
+      None)
 
 let no_cancel () = false
+
+let obs_flush (c : counters) elapsed_s =
+  let open Ezrt_obs in
+  let labels = [ ("engine", "classes") ] in
+  let bump name help v =
+    Metrics.add (Metrics.counter ~help ~labels name) v
+  in
+  bump "ezrt_search_stored_states_total" "Search nodes stored" c.c_stored;
+  bump "ezrt_search_visited_states_total" "Search nodes visited" c.c_visited;
+  bump "ezrt_search_eager_fires_total"
+    "Forced immediate firings collapsed without storing a node" c.c_eager;
+  bump "ezrt_search_backtracks_total" "Exhausted search nodes" c.c_backtracks;
+  Metrics.observe
+    (Metrics.timer ~help:"Wall-clock time spent in search" ~labels
+       "ezrt_search_duration")
+    (max 0.0 elapsed_s)
 
 let find_schedule ?(max_stored = 500_000) ?(cancel = no_cancel) model =
   let net = model.Translate.net in
   let started = Unix.gettimeofday () in
+  Ezrt_obs.Trace.begin_span ~cat:"search"
+    ~args:[ ("engine", Ezrt_obs.Trace.Str "classes") ]
+    "search";
   let failed = State_class.Table.create 4096 in
   let counters =
     { c_stored = 0; c_visited = 0; c_eager = 0; c_backtracks = 0;
       c_max_depth = 0 }
+  in
+  let progress =
+    let snapshot () =
+      let dt = Unix.gettimeofday () -. started in
+      Printf.sprintf
+        "search[classes]: %d stored, %d visited, depth %d, %.0f classes/s"
+        counters.c_stored counters.c_visited counters.c_max_depth
+        (float_of_int counters.c_visited /. max 1e-9 dt)
+    in
+    fun () -> Ezrt_obs.Progress.tick snapshot
   in
   let budget_hit = ref false in
   (* a lone firable transition leaves no choice: advance without
@@ -208,6 +255,7 @@ let find_schedule ?(max_stored = 500_000) ?(cancel = no_cancel) model =
       else begin
         counters.c_stored <- counters.c_stored + 1;
         counters.c_visited <- counters.c_visited + 1;
+        progress ();
         let candidates = order c (State_class.firable net c) in
         List.iter
           (fun tid ->
@@ -224,17 +272,29 @@ let find_schedule ?(max_stored = 500_000) ?(cancel = no_cancel) model =
     end
   in
   let outcome =
-    match
-      let path0, c0 = eager_advance [] (State_class.initial net) in
-      if is_final model c0 then raise (Found path0);
-      dfs 0 path0 c0
-    with
-    | () -> Error (if !budget_hit then Budget_exhausted else Infeasible)
-    | exception Found path_rev -> (
-      match extract net (List.rev path_rev) with
-      | Some schedule -> Ok schedule
-      | None -> Error Extraction_failed)
+    Fun.protect
+      ~finally:(fun () ->
+        Ezrt_obs.Trace.end_span ~cat:"search"
+          ~args:
+            [
+              ("stored", Ezrt_obs.Trace.Int counters.c_stored);
+              ("visited", Ezrt_obs.Trace.Int counters.c_visited);
+            ]
+          "search")
+      (fun () ->
+        match
+          let path0, c0 = eager_advance [] (State_class.initial net) in
+          if is_final model c0 then raise (Found path0);
+          dfs 0 path0 c0
+        with
+        | () -> Error (if !budget_hit then Budget_exhausted else Infeasible)
+        | exception Found path_rev -> (
+          match extract net (List.rev path_rev) with
+          | Some schedule -> Ok schedule
+          | None -> Error Extraction_failed))
   in
+  let elapsed_s = Unix.gettimeofday () -. started in
+  obs_flush counters elapsed_s;
   let metrics =
     {
       stored = counters.c_stored;
@@ -242,7 +302,7 @@ let find_schedule ?(max_stored = 500_000) ?(cancel = no_cancel) model =
       eager = counters.c_eager;
       backtracks = counters.c_backtracks;
       max_depth = counters.c_max_depth;
-      elapsed_s = Unix.gettimeofday () -. started;
+      elapsed_s;
     }
   in
   (outcome, metrics)

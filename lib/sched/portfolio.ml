@@ -36,6 +36,7 @@ type attempt = {
   config : config;
   outcome : (Schedule.t, Search.failure) result;
   metrics : Search.metrics;
+  cancelled : bool;
 }
 
 type t = {
@@ -93,7 +94,7 @@ let run_config ~max_stored ~cancel model cfg =
         max_stored }
     in
     let outcome, metrics = Search.find_schedule ~options ~cancel model in
-    { config = cfg; outcome; metrics }
+    { config = cfg; outcome; metrics; cancelled = false }
   | Classes ->
     let outcome, metrics = Class_search.find_schedule ~max_stored ~cancel model in
     let outcome =
@@ -105,7 +106,38 @@ let run_config ~max_stored ~cancel model cfg =
         (* an unrealized class path is inconclusive, not a proof *)
         Error Search.Budget_exhausted
     in
-    { config = cfg; outcome; metrics = class_metrics metrics }
+    { config = cfg; outcome; metrics = class_metrics metrics;
+      cancelled = false }
+
+(* Race-level accounting: one bulk registry update after the join, so
+   losers' work — invisible in the returned schedule — still shows up
+   in the metrics dump. *)
+let obs_flush ~winner attempts =
+  let open Ezrt_obs in
+  Metrics.incr
+    (Metrics.counter ~help:"Portfolio races run" "ezrt_portfolio_races_total");
+  List.iter
+    (fun (a : attempt) ->
+      let outcome =
+        if Some a.config = winner then "winner"
+        else if a.cancelled then "cancelled"
+        else "loser"
+      in
+      Metrics.incr
+        (Metrics.counter
+           ~help:"Portfolio member verdicts by race outcome"
+           ~labels:
+             [
+               ("config", config_to_string a.config); ("outcome", outcome);
+             ]
+           "ezrt_portfolio_members_total");
+      if Some a.config <> winner then
+        Metrics.add
+          (Metrics.counter
+             ~help:"Search nodes stored by losing portfolio members"
+             "ezrt_portfolio_loser_stored_states_total")
+          a.metrics.Search.stored)
+    attempts
 
 let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
   let started = Unix.gettimeofday () in
@@ -120,6 +152,9 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
     | Some d -> max 1 (min d n)
     | None -> max 1 (min n (Domain.recommended_domain_count () - 1))
   in
+  Ezrt_obs.Trace.begin_span ~cat:"portfolio"
+    ~args:[ ("configs", Ezrt_obs.Trace.Int n) ]
+    "portfolio";
   let stop = Atomic.make false in
   let next = Atomic.make 0 in
   let results = Array.make n None in
@@ -131,13 +166,41 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
       let i = Atomic.fetch_and_add next 1 in
       if i >= n || Atomic.get stop then continue := false
       else begin
-        let (attempt : attempt) =
-          run_config ~max_stored ~cancel:(fun () -> Atomic.get stop) model
-            cfgs.(i)
+        let name = "member:" ^ config_to_string cfgs.(i) in
+        (* the span opens on the worker domain, so each member gets its
+           own track in the trace viewer *)
+        Ezrt_obs.Trace.begin_span ~cat:"portfolio" "portfolio-member"
+          ~args:[ ("config", Ezrt_obs.Trace.Str name) ];
+        let saw_cancel = ref false in
+        let cancel () =
+          let c = Atomic.get stop in
+          if c && not !saw_cancel then begin
+            saw_cancel := true;
+            Ezrt_obs.Trace.instant ~cat:"portfolio" "member-cancelled"
+              ~args:[ ("config", Ezrt_obs.Trace.Str name) ]
+          end;
+          c
         in
+        let (attempt : attempt) =
+          run_config ~max_stored ~cancel model cfgs.(i)
+        in
+        let attempt = { attempt with cancelled = !saw_cancel } in
+        Ezrt_obs.Trace.end_span ~cat:"portfolio" "portfolio-member"
+          ~args:
+            [
+              ("config", Ezrt_obs.Trace.Str name);
+              ( "outcome",
+                Ezrt_obs.Trace.Str
+                  (match attempt.outcome with
+                  | Ok _ -> "feasible"
+                  | Error f -> Search.failure_to_string f) );
+            ];
         results.(i) <- Some attempt;
         match attempt.outcome with
-        | Ok _ -> Atomic.set stop true
+        | Ok _ ->
+          Atomic.set stop true;
+          Ezrt_obs.Trace.instant ~cat:"portfolio" "race-decided"
+            ~args:[ ("config", Ezrt_obs.Trace.Str name) ]
         | Error _ -> ()
       end
     done
@@ -173,6 +236,18 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
       in
       (Error verdict, None)
   in
+  obs_flush ~winner:winner_cfg attempts;
+  Ezrt_obs.Trace.end_span ~cat:"portfolio"
+    ~args:
+      [
+        ( "winner",
+          Ezrt_obs.Trace.Str
+            (match winner_cfg with
+            | Some cfg -> config_to_string cfg
+            | None -> "none") );
+        ("finished", Ezrt_obs.Trace.Int (List.length attempts));
+      ]
+    "portfolio";
   {
     outcome;
     winner = winner_cfg;

@@ -25,6 +25,10 @@ type attempt = {
   config : config;
   outcome : (Schedule.t, Search.failure) result;
   metrics : Search.metrics;
+  cancelled : bool;
+      (** the member observed the race's cancellation signal before
+          reaching its own verdict — its [Budget_exhausted] is the
+          race stopping it, not a real budget exhaustion *)
 }
 
 type t = {
@@ -58,4 +62,12 @@ val find_schedule :
     500_000).  [domains] caps the worker domains (default: one per
     config, at most [Domain.recommended_domain_count () - 1]); with
     [~domains:1] the configs run sequentially on the calling domain in
-    order, which is deterministic. *)
+    order, which is deterministic.
+
+    Observability: every race opens a [portfolio] span and one
+    [portfolio-member] span per started config (on the member's own
+    domain, so traces show parallel tracks), and updates the
+    [ezrt_portfolio_races_total], [ezrt_portfolio_members_total]
+    (labels [config], [outcome∈winner|loser|cancelled]) and
+    [ezrt_portfolio_loser_stored_states_total] counters
+    ({!Ezrt_obs.Metrics}), making losers' work visible. *)

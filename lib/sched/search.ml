@@ -39,6 +39,40 @@ type counters = {
   mutable c_max_depth : int;
 }
 
+(* --- observability ---------------------------------------------------
+   The DFS keeps its own unsynchronized counter record (hot path); the
+   Ezrt_obs registry receives the totals in one bulk update per search,
+   and the progress reporter renders from the live record only when a
+   line is due.  With no sink installed all of this is a branch on
+   [None] per stored node. *)
+
+let progress_reporter ~engine (c : counters) =
+  let t0 = Unix.gettimeofday () in
+  let snapshot () =
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.sprintf
+      "search[%s]: %d stored, %d visited, depth %d, %.0f states/s" engine
+      c.c_stored c.c_visited c.c_max_depth
+      (float_of_int c.c_visited /. max 1e-9 dt)
+  in
+  fun () -> Ezrt_obs.Progress.tick snapshot
+
+let obs_flush ~engine (c : counters) elapsed_s =
+  let open Ezrt_obs in
+  let labels = [ ("engine", engine) ] in
+  let bump name help v =
+    Metrics.add (Metrics.counter ~help ~labels name) v
+  in
+  bump "ezrt_search_stored_states_total" "Search nodes stored" c.c_stored;
+  bump "ezrt_search_visited_states_total" "Search nodes visited" c.c_visited;
+  bump "ezrt_search_eager_fires_total"
+    "Forced immediate firings collapsed without storing a node" c.c_eager;
+  bump "ezrt_search_backtracks_total" "Exhausted search nodes" c.c_backtracks;
+  Metrics.observe
+    (Metrics.timer ~help:"Wall-clock time spent in search" ~labels
+       "ezrt_search_duration")
+    (max 0.0 elapsed_s)
+
 exception Found of (Pnet.transition_id * int) list
 (* carries the reversed action path *)
 
@@ -68,6 +102,7 @@ let find_schedule_copying ~options ~cancel model counters =
   let net = model.Translate.net in
   let failed = State.Table.create 4096 in
   let budget_hit = ref false in
+  let progress = progress_reporter ~engine:"discrete-copying" counters in
   (* Collapse chains of forced immediate firings: when the fireable set
      is a singleton [0,0] transition, the semantics leaves no choice and
      no time passes, so the intermediate state need not become a search
@@ -99,6 +134,7 @@ let find_schedule_copying ~options ~cancel model counters =
       else begin
         counters.c_stored <- counters.c_stored + 1;
         counters.c_visited <- counters.c_visited + 1;
+        progress ();
         let ordered =
           Priority.order options.policy model s (State.fireable net s)
         in
@@ -142,6 +178,7 @@ let find_schedule_incremental ~options ~cancel model counters =
   let view = Priority.view_of_engine eng in
   let failed = Packed_state.Table.create 4096 in
   let budget_hit = ref false in
+  let progress = progress_reporter ~engine:"discrete-incremental" counters in
   let is_final () = State.Incremental.tokens eng model.Translate.final_place >= 1 in
   let is_dead () =
     List.exists
@@ -171,6 +208,7 @@ let find_schedule_incremental ~options ~cancel model counters =
         else begin
           counters.c_stored <- counters.c_stored + 1;
           counters.c_visited <- counters.c_visited + 1;
+          progress ();
           let ordered =
             Priority.order_view options.policy model view
               (State.Incremental.fireable eng)
@@ -213,15 +251,37 @@ let no_cancel () = false
 
 let find_schedule ?(options = default_options) ?(cancel = no_cancel) model =
   let started = Unix.gettimeofday () in
+  let engine =
+    if options.incremental then "discrete-incremental" else "discrete-copying"
+  in
+  Ezrt_obs.Trace.begin_span ~cat:"search"
+    ~args:
+      [
+        ("engine", Ezrt_obs.Trace.Str engine);
+        ("policy", Ezrt_obs.Trace.Str (Priority.to_string options.policy));
+      ]
+    "search";
   let counters =
     { c_stored = 0; c_visited = 0; c_eager = 0; c_backtracks = 0;
       c_max_depth = 0 }
   in
   let outcome =
-    if options.incremental then
-      find_schedule_incremental ~options ~cancel model counters
-    else find_schedule_copying ~options ~cancel model counters
+    Fun.protect
+      ~finally:(fun () ->
+        Ezrt_obs.Trace.end_span ~cat:"search"
+          ~args:
+            [
+              ("stored", Ezrt_obs.Trace.Int counters.c_stored);
+              ("visited", Ezrt_obs.Trace.Int counters.c_visited);
+            ]
+          "search")
+      (fun () ->
+        if options.incremental then
+          find_schedule_incremental ~options ~cancel model counters
+        else find_schedule_copying ~options ~cancel model counters)
   in
+  let elapsed_s = Unix.gettimeofday () -. started in
+  obs_flush ~engine counters elapsed_s;
   let metrics =
     {
       stored = counters.c_stored;
@@ -229,7 +289,7 @@ let find_schedule ?(options = default_options) ?(cancel = no_cancel) model =
       eager = counters.c_eager;
       backtracks = counters.c_backtracks;
       max_depth = counters.c_max_depth;
-      elapsed_s = Unix.gettimeofday () -. started;
+      elapsed_s;
     }
   in
   (outcome, metrics)

@@ -165,6 +165,40 @@ let test_model_check () =
   expect [ "model-check"; "--case"; "fig3"; "-q"; "EF nonsense >= 1" ]
     ~code:1 ~needles:[ "unknown place" ]
 
+let test_trace_output () =
+  match Lazy.force binary with
+  | None -> ()
+  | Some _ ->
+    let path = Filename.temp_file "ezrt_cli" ".trace.json" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      (fun () ->
+        expect [ "schedule"; "--case"; "quickstart"; "--trace"; path ] ~code:0
+          ~needles:[ "trace written to" ];
+        let contents = In_channel.with_open_text path In_channel.input_all in
+        List.iter
+          (fun needle ->
+            if not (contains ~needle contents) then
+              Alcotest.failf "trace file lacks %S" needle)
+          [ "\"traceEvents\""; "\"search\""; "\"ph\":\"B\"" ])
+
+let test_metrics_output () =
+  match Lazy.force binary with
+  | None -> ()
+  | Some _ ->
+    let path = Filename.temp_file "ezrt_cli" ".prom" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      (fun () ->
+        expect [ "schedule"; "--case"; "quickstart"; "--metrics"; path ]
+          ~code:0 ~needles:[ "metrics written to" ];
+        let contents = In_channel.with_open_text path In_channel.input_all in
+        List.iter
+          (fun needle ->
+            if not (contains ~needle contents) then
+              Alcotest.failf "metrics file lacks %S" needle)
+          [ "# TYPE ezrt_search_stored_states_total counter"; "engine=" ])
+
 let test_bad_usage () =
   expect [ "check" ] ~code:1 ~needles:[ "FILE" ];
   expect
@@ -194,5 +228,7 @@ let suite =
     case "vcd output" test_vcd_output;
     case "simulate with fault injection" test_simulate_fault;
     case "model-check" test_model_check;
+    case "trace output" test_trace_output;
+    case "metrics output" test_metrics_output;
     case "bad usage" test_bad_usage;
   ]
