@@ -877,14 +877,28 @@ let a14 () =
             else acc + a.Portfolio.metrics.Search.stored)
           0 result.Portfolio.attempts
       in
+      (* per-member records: losers' and cancelled members' work used to
+         be invisible here, underreporting what the race actually cost *)
+      let member_json (a : Portfolio.attempt) =
+        Printf.sprintf
+          "{\"config\": %S, \"outcome\": %S, \"stored\": %d, \"visited\": \
+           %d, \"elapsed_ms\": %.3f, \"cancelled\": %b}"
+          (Portfolio.config_to_string a.Portfolio.config)
+          (match a.Portfolio.outcome with
+          | Ok _ -> "feasible"
+          | Error f -> Search.failure_to_string f)
+          a.Portfolio.metrics.Search.stored a.Portfolio.metrics.Search.visited
+          (a.Portfolio.metrics.Search.elapsed_s *. 1000.)
+          a.Portfolio.cancelled
+      in
       Format.printf
-        "%-14s %s on %d domain(s), %d config(s) finished (%d cancelled, %d \
-         loser states), %.1f ms (winner: %s)@."
+        "%-14s %s on %d domain(s), %d config(s) started, %d finished (%d \
+         cancelled, %d loser states), %.1f ms (winner: %s)@."
         name
         (match result.Portfolio.outcome with
         | Ok _ -> "feasible"
         | Error f -> Search.failure_to_string f)
-        result.Portfolio.domains_used
+        result.Portfolio.domains_used result.Portfolio.configs_started
         (List.length result.Portfolio.attempts)
         cancelled loser_stored
         (result.Portfolio.elapsed_s *. 1000.)
@@ -895,15 +909,121 @@ let a14 () =
           ("feasible", jbool (Result.is_ok result.Portfolio.outcome));
           ("winner", jstr winner);
           ("domains_used", jint result.Portfolio.domains_used);
+          ("configs_started", jint result.Portfolio.configs_started);
           ("configs_finished", jint (List.length result.Portfolio.attempts));
           ("configs_cancelled", jint cancelled);
           ("loser_stored_states", jint loser_stored);
           ("elapsed_ms", jfloat (result.Portfolio.elapsed_s *. 1000.));
+          ( "members",
+            "["
+            ^ String.concat ", "
+                (List.map member_json result.Portfolio.attempts)
+            ^ "]" );
         ])
     [
       ("mine-pump", Case_studies.mine_pump);
       ("flight-control", Case_studies.flight_control);
       ("greedy-trap", Case_studies.greedy_trap);
+    ]
+
+(* --- A16: shared-visited parallel search -------------------------------- *)
+
+(* worker domains for A16, settable with --domains N *)
+let bench_domains = ref 2
+
+(* A deterministic generated spec whose search is large (tight deadlines
+   force heavy backtracking into an exhaustive infeasibility proof), so
+   fixed parallel overheads — domain spawn, table striping — amortize
+   over tens of thousands of stored states. *)
+let large_tight_spec =
+  let periods = [| 25; 50; 100 |] in
+  let tasks =
+    List.init 8 (fun i ->
+        let period = periods.(i mod 3) in
+        let wcet = 2 * (2 + (i mod 3)) in
+        Task.make
+          ~name:(Printf.sprintf "t%d" i)
+          ~wcet
+          ~deadline:(min period (wcet + 2 + (i mod 4)))
+          ~period ())
+  in
+  Spec.make ~name:"large-tight-8" ~tasks ()
+
+let a16 () =
+  section "A16" "Shared-visited parallel search (work-stealing DFS)";
+  let domains = !bench_domains in
+  Format.printf "worker domains: %d (recommended on this machine: %d)@."
+    domains
+    (Domain.recommended_domain_count ());
+  (* wall-clock comparisons take the minimum of 3 runs per engine: the
+     point is the engines' cost, not the host scheduler's mood *)
+  let runs = 3 in
+  let min_by_snd xs =
+    List.fold_left
+      (fun acc x -> if snd x < snd acc then x else acc)
+      (List.hd xs) (List.tl xs)
+  in
+  List.iter
+    (fun (name, spec) ->
+      let model = Translate.translate spec in
+      let (seq_outcome, seq_m), seq_ms =
+        min_by_snd
+          (List.init runs (fun _ ->
+               let outcome, m = Search.find_schedule model in
+               ((outcome, m), ms m)))
+      in
+      let par, par_ms =
+        min_by_snd
+          (List.init runs (fun _ ->
+               let r = Par_search.find_schedule ~domains model in
+               (r, r.Par_search.metrics.Search.elapsed_s *. 1000.)))
+      in
+      let pm = par.Par_search.metrics in
+      let speedup = seq_ms /. max 1e-9 par_ms in
+      let verdicts_agree =
+        Result.is_ok seq_outcome = Result.is_ok par.Par_search.outcome
+      in
+      let certified =
+        match par.Par_search.outcome with
+        | Ok schedule ->
+          Result.is_ok
+            (Validator.check model (Timeline.of_schedule model schedule))
+        | Error _ -> false
+      in
+      Format.printf
+        "%-14s seq %8d st %8.1f ms | par %8d st %8.1f ms on %d domain(s), \
+         %d steal(s), %d shared hit(s) | speedup %.2fx, verdicts agree: %b%s@."
+        name seq_m.Search.stored seq_ms pm.Search.stored par_ms
+        par.Par_search.domains_used par.Par_search.steals
+        par.Par_search.shared_hits speedup verdicts_agree
+        (if Result.is_ok par.Par_search.outcome then
+           Printf.sprintf ", certified: %b" certified
+         else "");
+      add_json ("A16_parallel_" ^ name)
+        [
+          ("spec", jstr name);
+          ("domains_requested", jint domains);
+          ("domains_used", jint par.Par_search.domains_used);
+          ("runs", jint runs);
+          ("feasible", jbool (Result.is_ok par.Par_search.outcome));
+          ("verdicts_agree_sequential", jbool verdicts_agree);
+          ("certified", jbool certified);
+          ("stored_states", jint pm.Search.stored);
+          ("sequential_stored_states", jint seq_m.Search.stored);
+          ("steals", jint par.Par_search.steals);
+          ("shared_table_hits", jint par.Par_search.shared_hits);
+          ("replayed_fires", jint par.Par_search.replayed_fires);
+          ( "table_entries",
+            jint par.Par_search.table.Packed_state.Sharded.entries );
+          ( "table_contended",
+            jint par.Par_search.table.Packed_state.Sharded.contended );
+          ("sequential_elapsed_ms", jfloat seq_ms);
+          ("parallel_elapsed_ms", jfloat par_ms);
+          ("speedup", jfloat speedup);
+        ])
+    [
+      ("mine-pump", Case_studies.mine_pump);
+      ("large-tight-8", large_tight_spec);
     ]
 
 (* --- A15: differential fuzzing throughput ------------------------------ *)
@@ -1020,8 +1140,9 @@ let bechamel_suite () =
     (List.sort compare rows)
 
 (* The harness takes the same observability flags as ezrt: --trace FILE,
-   --metrics FILE and --progress.  No cmdliner here — a hand scan of
-   argv keeps bench dependency-free. *)
+   --metrics FILE and --progress — plus --domains N (A16 worker count)
+   and --smoke (CI subset: E1, A14, A16 only).  No cmdliner here — a
+   hand scan of argv keeps bench dependency-free. *)
 let obs_setup () =
   let argv = Sys.argv in
   let n = Array.length argv in
@@ -1047,36 +1168,51 @@ let obs_setup () =
         Obs_metrics.save_file path;
         Format.printf "metrics written to %s@." path)
   | None -> ());
-  if has "--progress" then Obs_progress.install (Obs_progress.create ())
+  if has "--progress" then Obs_progress.install (Obs_progress.create ());
+  (match value_of "--domains" with
+  | Some d -> (
+    match int_of_string_opt d with
+    | Some d when d >= 1 -> bench_domains := d
+    | Some _ | None -> ())
+  | None -> ());
+  has "--smoke"
 
 let () =
-  obs_setup ();
+  let smoke = obs_setup () in
   Format.printf "ezRealtime benchmark harness (paper: DATE 2008)@.";
   record_meta ();
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  a1 ();
-  a2 ();
-  a3 ();
-  a4 ();
-  a5 ();
-  a6 ();
-  a7 ();
-  a8 ();
-  a9 ();
-  a10 ();
-  a11 ();
-  a12 ();
-  a13 ();
-  a14 ();
-  a15 ();
-  bechamel_suite ();
+  if smoke then begin
+    e1 ();
+    a14 ();
+    a16 ()
+  end
+  else begin
+    e1 ();
+    e2 ();
+    e3 ();
+    e4 ();
+    e5 ();
+    e6 ();
+    e7 ();
+    e8 ();
+    a1 ();
+    a2 ();
+    a3 ();
+    a4 ();
+    a5 ();
+    a6 ();
+    a7 ();
+    a8 ();
+    a9 ();
+    a10 ();
+    a11 ();
+    a12 ();
+    a13 ();
+    a14 ();
+    a15 ();
+    a16 ();
+    bechamel_suite ()
+  end;
   write_json "BENCH_search.json";
   Format.printf "@.wrote BENCH_search.json@.";
   Format.printf "done.@."

@@ -198,13 +198,19 @@ let engine_arg =
   let engine_conv =
     Arg.enum
       [ ("discrete", `Discrete); ("classes", `Classes);
-        ("portfolio", `Portfolio) ]
+        ("portfolio", `Portfolio); ("parallel", `Parallel) ]
   in
   Arg.(value & opt engine_conv `Discrete & info [ "engine" ] ~docv:"ENGINE"
          ~doc:"Search engine: discrete (integer-clock TLTS), classes \
-               (dense-time state classes), or portfolio (race every \
+               (dense-time state classes), portfolio (race every \
                policy and engine on parallel domains, first feasible \
-               schedule wins).")
+               schedule wins), or parallel (work-stealing DFS over one \
+               search problem with a shared visited table).")
+
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel and portfolio engines \
+               (default: from the host's recommended domain count).")
 
 let gantt_arg =
   Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
@@ -214,7 +220,7 @@ let vcd_arg =
          ~doc:"Write the timeline as a VCD waveform here.")
 
 let schedule_cmd =
-  let run () file case policy no_po latest max_states engine gantt vcd =
+  let run () file case policy no_po latest max_states engine domains gantt vcd =
     with_spec file case (fun spec ->
         let finish artifact =
           Format.printf "%a" report artifact;
@@ -264,9 +270,43 @@ let schedule_cmd =
           | Error f, _ ->
             prerr_endline ("ezrt: " ^ Class_search.failure_to_string f);
             exit 1)
+        | `Parallel -> (
+          let model = Translate.translate spec in
+          let options = search_options policy no_po latest max_states in
+          let r = Par_search.find_schedule ~options ?domains model in
+          match r.Par_search.outcome with
+          | Ok schedule -> (
+            let segments = Timeline.of_schedule model schedule in
+            match Validator.check model segments with
+            | Error vs ->
+              prerr_endline
+                ("ezrt: schedule failed certification: "
+                ^ Validator.violation_to_string (List.hd vs));
+              exit 1
+            | Ok () ->
+              let table = Table.of_segments segments in
+              let m = r.Par_search.metrics in
+              Format.printf
+                "parallel search: %d domain(s) used, %d states stored, %d \
+                 steals, %d shared-table hits, %.1f ms@."
+                r.Par_search.domains_used m.Search.stored r.Par_search.steals
+                r.Par_search.shared_hits
+                (m.Search.elapsed_s *. 1000.);
+              Format.printf "schedule table:@.%a" (Table.pp model) table;
+              if gantt then Format.printf "@.%s" (Chart.render model segments);
+              (match vcd with
+              | Some path ->
+                Vcd.save_file path model segments;
+                Printf.printf "VCD written to %s\n" path
+              | None -> ()))
+          | Error f ->
+            prerr_endline ("ezrt: " ^ Search.failure_to_string f);
+            exit 1)
         | `Portfolio -> (
           let model = Translate.translate spec in
-          let race = Portfolio.find_schedule ~max_stored:max_states model in
+          let race =
+            Portfolio.find_schedule ~max_stored:max_states ?domains model
+          in
           match race.Portfolio.outcome with
           | Ok schedule -> (
             let segments = Timeline.of_schedule model schedule in
@@ -279,12 +319,12 @@ let schedule_cmd =
             | Ok () ->
               let table = Table.of_segments segments in
               Format.printf
-                "portfolio: %s won on %d domain(s) (%d config(s) finished), \
-                 %.1f ms@."
+                "portfolio: %s won on %d domain(s) (%d config(s) started, %d \
+                 finished), %.1f ms@."
                 (match race.Portfolio.winner with
                 | Some cfg -> Portfolio.config_to_string cfg
                 | None -> "?")
-                race.Portfolio.domains_used
+                race.Portfolio.domains_used race.Portfolio.configs_started
                 (List.length race.Portfolio.attempts)
                 (race.Portfolio.elapsed_s *. 1000.);
               Format.printf "schedule table:@.%a" (Table.pp model) table;
@@ -301,7 +341,8 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Synthesize a feasible pre-runtime schedule.")
     Term.(const run $ obs_term $ file_arg $ case_arg $ policy_arg $ no_po_arg
-          $ latest_arg $ max_states_arg $ engine_arg $ gantt_arg $ vcd_arg)
+          $ latest_arg $ max_states_arg $ engine_arg $ domains_arg $ gantt_arg
+          $ vcd_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 
@@ -578,10 +619,18 @@ let fuzz_cmd =
            ~doc:"Report divergent specs as generated, without minimizing \
                  them first.")
   in
+  let engines_arg =
+    Arg.(value & opt (some string) None & info [ "engines" ] ~docv:"NAMES"
+           ~doc:"Comma-separated engine filter (reference, incremental, \
+                 latest-release, classes, portfolio, parallel); only these \
+                 engines run and cross-check — e.g. \
+                 $(b,--engines parallel,reference) bisects parallel-only \
+                 divergences.")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary line.")
   in
-  let run () seed count smoke corpus max_stored no_shrink quiet =
+  let run () seed count smoke corpus max_stored no_shrink engines quiet =
     let profile = if smoke then Spec_gen.smoke else Spec_gen.default in
     let count =
       match count with Some c -> c | None -> if smoke then 60 else 200
@@ -596,8 +645,20 @@ let fuzz_cmd =
             else if (index + 1) mod 50 = 0 then
               Printf.printf "checked %d/%d specs\n%!" (index + 1) count)
     in
+    let engines =
+      Option.map
+        (fun s ->
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun n -> n <> ""))
+        engines
+    in
     let stats =
-      Fuzz.run ~profile ~max_stored ~shrink:(not no_shrink) ?log ~seed ~count ()
+      try
+        Fuzz.run ~profile ~max_stored ?engines ~shrink:(not no_shrink) ?log
+          ~seed ~count ()
+      with Invalid_argument msg ->
+        prerr_endline ("ezrt: " ^ msg);
+        exit 2
     in
     Printf.printf
       "fuzz: seed %d, %d specs in %.1f s (%.1f specs/s) — %d feasible, %d \
@@ -630,7 +691,7 @@ let fuzz_cmd =
        ~doc:"Differentially fuzz the synthesis engines on random \
              specifications.")
     Term.(const run $ obs_term $ seed_arg $ count_arg $ smoke_arg $ corpus_arg
-          $ fuzz_max_states_arg $ no_shrink_arg $ quiet_arg)
+          $ fuzz_max_states_arg $ no_shrink_arg $ engines_arg $ quiet_arg)
 
 let main_cmd =
   let doc = "embedded hard real-time software synthesis (ezRealtime)" in

@@ -40,6 +40,7 @@ module Vcd = Ezrt_sched.Vcd
 module Class_search = Ezrt_sched.Class_search
 module Optimize = Ezrt_sched.Optimize
 module Portfolio = Ezrt_sched.Portfolio
+module Par_search = Ezrt_sched.Par_search
 module Target = Ezrt_codegen.Target
 module Emit = Ezrt_codegen.Emit
 module Vm = Ezrt_runtime.Vm

@@ -4,6 +4,7 @@ module Translate = Ezrt_blocks.Translate
 module Search = Ezrt_sched.Search
 module Class_search = Ezrt_sched.Class_search
 module Portfolio = Ezrt_sched.Portfolio
+module Par_search = Ezrt_sched.Par_search
 module Schedule = Ezrt_sched.Schedule
 module Validator = Ezrt_sched.Validator
 module Sim = Ezrt_baseline.Sim
@@ -79,7 +80,22 @@ let of_search = function
 
 let feasible = function Feasible _ -> true | Infeasible | Unknown _ -> false
 
-let check ?(max_stored = 50_000) ?(extra = []) spec =
+let builtin_engines =
+  [ "reference"; "incremental"; "latest-release"; "classes"; "portfolio";
+    "parallel" ]
+
+let check ?(max_stored = 50_000) ?engines ?(extra = []) spec =
+  (match engines with
+  | Some names ->
+    List.iter
+      (fun n ->
+        if not (List.mem n builtin_engines) then
+          invalid_arg
+            (Printf.sprintf
+               "Differ.check: unknown engine %S (known: %s)" n
+               (String.concat ", " builtin_engines)))
+      names
+  | None -> ());
   match (Validate.check spec).Validate.errors with
   | e :: _ -> {
       results = [];
@@ -112,17 +128,21 @@ let check ?(max_stored = 50_000) ?(extra = []) spec =
                   }
                 model))
       in
+      let want name =
+        match engines with None -> true | Some names -> List.mem name names
+      in
+      let run name f = if want name then Some (guard name f) else None in
       let reference =
-        guard "reference" (discrete ~incremental:false ~latest_release:false)
+        run "reference" (discrete ~incremental:false ~latest_release:false)
       in
       let incremental =
-        guard "incremental" (discrete ~incremental:true ~latest_release:false)
+        run "incremental" (discrete ~incremental:true ~latest_release:false)
       in
       let latest =
-        guard "latest-release" (discrete ~incremental:true ~latest_release:true)
+        run "latest-release" (discrete ~incremental:true ~latest_release:true)
       in
       let classes =
-        guard "classes" (fun () ->
+        run "classes" (fun () ->
             match fst (Class_search.find_schedule ~max_stored model) with
             | Ok s -> Feasible s
             | Error Class_search.Infeasible -> Infeasible
@@ -133,7 +153,7 @@ let check ?(max_stored = 50_000) ?(extra = []) spec =
               Unknown "extraction failed")
       in
       let portfolio =
-        guard "portfolio" (fun () ->
+        run "portfolio" (fun () ->
             match
               (Portfolio.find_schedule ~max_stored ~domains:1 model)
                 .Portfolio.outcome
@@ -143,19 +163,31 @@ let check ?(max_stored = 50_000) ?(extra = []) spec =
             | Error Search.Budget_exhausted ->
               Unknown "stored-state budget exhausted")
       in
+      let parallel =
+        run "parallel" (fun () ->
+            let r =
+              Par_search.find_schedule
+                ~options:{ Search.default_options with max_stored }
+                ~domains:2 model
+            in
+            of_search r.Par_search.outcome)
+      in
       let extra_results =
         List.map
           (fun (name, run) -> (name, guard name (fun () -> run ~max_stored model)))
           extra
       in
       let results =
-        [
-          ("reference", reference);
-          ("incremental", incremental);
-          ("latest-release", latest);
-          ("classes", classes);
-          ("portfolio", portfolio);
-        ]
+        List.filter_map
+          (fun (name, v) -> Option.map (fun v -> (name, v)) v)
+          [
+            ("reference", reference);
+            ("incremental", incremental);
+            ("latest-release", latest);
+            ("classes", classes);
+            ("portfolio", portfolio);
+            ("parallel", parallel);
+          ]
         @ extra_results
       in
       (* (a) every feasible schedule must be certified independently *)
@@ -187,47 +219,66 @@ let check ?(max_stored = 50_000) ?(extra = []) spec =
                reason;
              })
       in
+      let feasible_o = function Some v -> feasible v | None -> false in
+      let getv = function Some v -> v | None -> Unknown "skipped" in
       (match reference, incremental with
-      | Feasible a, Feasible b ->
+      | Some (Feasible a), Some (Feasible b) ->
         if a.Schedule.entries <> b.Schedule.entries then
           flag
             (Schedule_mismatch
                { engine_a = "reference"; engine_b = "incremental" })
-      | Infeasible, Infeasible -> ()
-      | Unknown _, Unknown _ -> ()
-      | a, b ->
+      | Some Infeasible, Some Infeasible -> ()
+      | Some (Unknown _), Some (Unknown _) -> ()
+      | Some a, Some b ->
         mismatch "reference" a "incremental" b
-          "the two discrete engines must explore the same tree");
+          "the two discrete engines must explore the same tree"
+      | None, _ | _, None -> ());
+      (* the parallel engine explores the same discrete choice space as
+         the sequential engines but subtree completion order is racy:
+         decisive verdicts must agree, schedules may differ (its
+         feasible schedules are still certified by (a) above) *)
+      let sequential_discrete =
+        match reference with
+        | Some v -> Some ("reference", v)
+        | None -> Option.map (fun v -> ("incremental", v)) incremental
+      in
+      (match sequential_discrete, parallel with
+      | Some (name, (Feasible _ as a)), Some (Infeasible as b)
+      | Some (name, (Infeasible as a)), Some (Feasible _ as b) ->
+        mismatch name a "parallel" b
+          "the parallel engine explores the same choice space: verdicts \
+           must agree even though schedules may differ"
+      | _ -> ());
       (* extra engines claim default discrete semantics *)
       List.iter
         (fun (name, verdict) ->
           match reference, verdict with
-          | Feasible _, Infeasible | Infeasible, Feasible _ ->
-            mismatch "reference" reference name verdict
+          | Some (Feasible _), Infeasible | Some Infeasible, Feasible _ ->
+            mismatch "reference" (getv reference) name verdict
               "engine claims default discrete search semantics"
           | _ -> ())
         extra_results;
       (* (c) implication lattice between decisive verdicts *)
-      if feasible reference && classes = Infeasible then
-        mismatch "reference" reference "classes" classes
+      if feasible_o reference && classes = Some Infeasible then
+        mismatch "reference" (getv reference) "classes" Infeasible
           "dense-time state classes are complete";
-      if feasible latest && classes = Infeasible then
-        mismatch "latest-release" latest "classes" classes
+      if feasible_o latest && classes = Some Infeasible then
+        mismatch "latest-release" (getv latest) "classes" Infeasible
           "dense-time state classes are complete";
-      if feasible reference && latest = Infeasible then
-        mismatch "reference" reference "latest-release" latest
+      if feasible_o reference && latest = Some Infeasible then
+        mismatch "reference" (getv reference) "latest-release" Infeasible
           "latest-release branching explores a superset";
       if
-        (feasible reference || feasible latest || feasible classes)
-        && portfolio = Infeasible
+        (feasible_o reference || feasible_o latest || feasible_o classes)
+        && portfolio = Some Infeasible
       then
-        mismatch "portfolio" portfolio "classes" classes
+        mismatch "portfolio" Infeasible "classes" (getv classes)
           "the portfolio races all of these configurations";
       if
-        feasible portfolio && reference = Infeasible && latest = Infeasible
-        && classes = Infeasible
+        feasible_o portfolio && reference = Some Infeasible
+        && latest = Some Infeasible && classes = Some Infeasible
       then
-        mismatch "portfolio" portfolio "classes" classes
+        mismatch "portfolio" (getv portfolio) "classes" Infeasible
           "the portfolio has no engine outside these configurations";
       (* (d) feasibility is impossible above full utilization *)
       let u = Spec.utilization spec in
@@ -239,7 +290,7 @@ let check ?(max_stored = 50_000) ?(extra = []) spec =
          witness against it is a contradiction, never noise (the
          work-conserving discrete engines may legitimately miss
          schedules that need inserted idle time). *)
-      if classes = Infeasible then begin
+      if classes = Some Infeasible then begin
         (match Sim.any_feasible spec with
         | Some (policy, result) -> (
           (* only a simulation the independent validator certifies is a

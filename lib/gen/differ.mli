@@ -15,6 +15,12 @@
       configuration schedules, it must too;
     - the sequential portfolio subsumes its member engines' verdicts
       in both directions;
+    - the work-stealing parallel engine ({!Ezrt_sched.Par_search})
+      explores the same discrete choice space as the sequential
+      engines: decisive verdicts must agree, while the {e specific}
+      schedule may legitimately differ (subtree completion order is
+      racy) — so only the verdict is compared, and its schedules are
+      certified like any other;
     - every feasible schedule must replay through the TPN semantics to
       the final marking and pass the spec-level validator;
     - an [Infeasible] verdict of an exhaustive engine is contradicted
@@ -64,13 +70,22 @@ type report = {
   divergences : divergence list;
 }
 
+val builtin_engines : string list
+(** [["reference"; "incremental"; "latest-release"; "classes";
+    "portfolio"; "parallel"]] — the names accepted by [?engines]. *)
+
 val check :
   ?max_stored:int ->
+  ?engines:string list ->
   ?extra:(string * (max_stored:int -> Ezrt_blocks.Translate.t -> verdict)) list ->
   Ezrt_spec.Spec.t ->
   report
 (** Run every engine (bounded by [max_stored], default 50_000) and
-    every cross-check on one spec.  [extra] engines claim default
+    every cross-check on one spec.  [engines] restricts the built-in
+    engines that run (default: all of {!builtin_engines}; unknown
+    names raise [Invalid_argument]); cross-checks needing a skipped
+    engine are skipped too, which lets a campaign bisect e.g. just
+    [["parallel"; "reference"]].  [extra] engines claim default
     discrete search semantics: their verdict is compared against the
     reference engine's and their schedules must certify — the hook the
     tests use to prove an injected engine bug is caught. *)

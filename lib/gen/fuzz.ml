@@ -48,8 +48,8 @@ let obs_spec_result (report : Differ.report) =
       (Metrics.counter ~help:"Fuzzed specifications that diverged"
          "ezrt_fuzz_divergent_total")
 
-let run ?(profile = Spec_gen.default) ?max_stored ?(shrink = true) ?log ~seed
-    ~count () =
+let run ?(profile = Spec_gen.default) ?max_stored ?engines ?(shrink = true)
+    ?log ~seed ~count () =
   let started = Unix.gettimeofday () in
   let feasible = ref 0 and infeasible = ref 0 and unknown = ref 0 in
   let divergent = ref [] in
@@ -73,7 +73,7 @@ let run ?(profile = Spec_gen.default) ?max_stored ?(shrink = true) ?log ~seed
       ~args:[ ("index", Ezrt_obs.Trace.Int index) ]
       "fuzz-spec";
     let spec = Spec_gen.spec_at ~profile ~seed index in
-    let report = Differ.check ?max_stored spec in
+    let report = Differ.check ?max_stored ?engines spec in
     obs_spec_result report;
     (match log with Some f -> f index spec report | None -> ());
     (match class_verdict report with
@@ -85,7 +85,10 @@ let run ?(profile = Spec_gen.default) ?max_stored ?(shrink = true) ?log ~seed
         ~args:[ ("index", Ezrt_obs.Trace.Int index) ];
       let shrunk =
         if shrink then
-          Shrink.minimize ~failing:(Differ.failing ?max_stored) spec
+          Shrink.minimize
+            ~failing:(fun s ->
+              (Differ.check ?max_stored ?engines s).Differ.divergences <> [])
+            spec
         else spec
       in
       divergent :=

@@ -27,6 +27,7 @@ type stats = {
 val run :
   ?profile:Spec_gen.profile ->
   ?max_stored:int ->
+  ?engines:string list ->
   ?shrink:bool ->
   ?log:(int -> Ezrt_spec.Spec.t -> Differ.report -> unit) ->
   seed:int ->
@@ -34,10 +35,15 @@ val run :
   unit ->
   stats
 (** Generate [count] specs from [seed] and {!Differ.check} each.
-    Divergent specs are minimized with {!Shrink.minimize} unless
-    [shrink:false].  [log] observes every checked spec (for progress
-    reporting).  The feasible/infeasible tally follows the class
-    engine's verdict, the most authoritative one. *)
+    [engines] restricts which built-in engines run and cross-check
+    (see {!Differ.builtin_engines}) — e.g. [["parallel"; "reference"]]
+    bisects parallel-only divergences quickly; shrinking uses the same
+    restriction so the minimized spec still exhibits the restricted
+    divergence.  Divergent specs are minimized with {!Shrink.minimize}
+    unless [shrink:false].  [log] observes every checked spec (for
+    progress reporting).  The feasible/infeasible tally follows the
+    class engine's verdict, the most authoritative one (always
+    [unknown] when "classes" is filtered out). *)
 
 val specs_per_s : stats -> float
 

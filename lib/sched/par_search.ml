@@ -1,0 +1,558 @@
+(* Work-stealing parallel DFS over a single search problem.
+
+   N domains expand disjoint subtrees of the same TLTS from a shared
+   frontier.  Each worker owns a deque of unexpanded nodes: it pushes
+   and pops at the top (plain LIFO, so a lone worker explores exactly
+   the sequential incremental engine's order) while idle workers steal
+   half a victim's deque from the bottom — the shallowest nodes, whose
+   subtrees are the largest and amortize the steal.
+
+   A node is an action list (the branching firing plus the eager
+   immediate chain discovered at first expansion) and a parent
+   pointer.  Every worker walks its own [State.Incremental] engine;
+   moving from the last expanded node to the next popped one is an
+   undo to their lowest common ancestor plus a replay of the actions
+   on the downward path — O(1) amortized for own-deque pops, O(depth)
+   only after a steal.
+
+   Pruning is shared: a node claims its packed state in one
+   [Packed_state.Sharded] table before expanding ([add] returning
+   [false] means some worker already owns that state — skip).  Claiming
+   at first visit rather than memoizing at exhaustion keeps each
+   distinct state expanded at most once globally, which is what turns
+   extra domains into speedup instead of duplicated work.
+
+   Soundness: every pushed node is eventually expanded or the search
+   stops early (goal / budget / cancel), and a state's first claimant
+   explores the full choice space below it, so a reachable final
+   marking is always found and exhaustion (pending counter hitting 0)
+   really is infeasibility of the explored choice space.  The
+   feasibility verdict is deterministic; the specific schedule may
+   differ from the sequential engines' because subtree completion
+   order depends on the race — the differ and tests encode exactly
+   that contract. *)
+
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+
+type t = {
+  outcome : (Schedule.t, Search.failure) result;
+  metrics : Search.metrics;
+  domains_used : int;
+  steals : int;
+  shared_hits : int;
+  replayed_fires : int;
+  table : Packed_state.Sharded.stats;
+}
+
+(* --- search-tree nodes --------------------------------------------- *)
+
+type node = {
+  mutable actions : (Pnet.transition_id * int) list;
+      (* firings from the parent's state to this node's state; the
+         branch action, extended in place with the eager chain at
+         first expansion (before any child is published) *)
+  parent : node;  (* the root points at itself *)
+  depth : int;  (* tree depth, root = 0 *)
+  mutable edepth : int;  (* engine depth at this node's state *)
+}
+
+(* [origin] is every worker's initial position — engine at depth 0,
+   never pushed, never mutated.  The search root proper is a child of
+   it, so its eager extension (mutating [actions]/[edepth] at first
+   expansion) never invalidates another worker's position invariant
+   [cur.edepth = engine depth]. *)
+let make_origin () =
+  let rec origin = { actions = []; parent = origin; depth = 0; edepth = 0 } in
+  origin
+
+(* --- per-worker deques --------------------------------------------- *)
+
+(* A mutex-guarded ring buffer.  The coarse lock is deliberate: pushes
+   and pops are a few dozen ns against search-node expansions of
+   microseconds, and the same mutex gives the publication
+   happens-before for the node fields a thief reads. *)
+module Deque = struct
+  type q = {
+    mutable buf : node array;
+    mutable head : int;  (* bottom: oldest / shallowest *)
+    mutable len : int;
+    lock : Mutex.t;
+    dummy : node;
+  }
+
+  let create dummy =
+    {
+      buf = Array.make 64 dummy;
+      head = 0;
+      len = 0;
+      lock = Mutex.create ();
+      dummy;
+    }
+
+  let grow q =
+    let cap = Array.length q.buf in
+    let bigger = Array.make (2 * cap) q.dummy in
+    for i = 0 to q.len - 1 do
+      bigger.(i) <- q.buf.((q.head + i) mod cap)
+    done;
+    q.buf <- bigger;
+    q.head <- 0
+
+  let push_top q x =
+    Mutex.lock q.lock;
+    if q.len = Array.length q.buf then grow q;
+    q.buf.((q.head + q.len) mod Array.length q.buf) <- x;
+    q.len <- q.len + 1;
+    Mutex.unlock q.lock
+
+  (* One lock for a whole sibling batch; pushed in list order, so pass
+     children reversed to leave the first candidate on top. *)
+  let push_list q xs =
+    Mutex.lock q.lock;
+    List.iter
+      (fun x ->
+        if q.len = Array.length q.buf then grow q;
+        q.buf.((q.head + q.len) mod Array.length q.buf) <- x;
+        q.len <- q.len + 1)
+      xs;
+    Mutex.unlock q.lock
+
+  let pop_top q =
+    Mutex.lock q.lock;
+    let r =
+      if q.len = 0 then None
+      else begin
+        q.len <- q.len - 1;
+        let i = (q.head + q.len) mod Array.length q.buf in
+        let x = q.buf.(i) in
+        q.buf.(i) <- q.dummy;
+        Some x
+      end
+    in
+    Mutex.unlock q.lock;
+    r
+
+  (* Racy read; only used as a spawn heuristic by the deque's owner. *)
+  let length q = q.len
+
+  (* Up to half the items — capped at [limit] — from the bottom,
+     shallowest first.  Long-lived peers split the load evenly;
+     opportunistic workers cap the batch at what they will actually
+     expand, so they never hold hostage work they are about to
+     abandon. *)
+  let steal_half ?limit q =
+    Mutex.lock q.lock;
+    let k = (q.len + 1) / 2 in
+    let k = match limit with Some l -> min k l | None -> k in
+    let stolen =
+      List.init k (fun i ->
+          let j = (q.head + i) mod Array.length q.buf in
+          let x = q.buf.(j) in
+          q.buf.(j) <- q.dummy;
+          x)
+    in
+    q.head <- (q.head + k) mod Array.length q.buf;
+    q.len <- q.len - k;
+    Mutex.unlock q.lock;
+    stolen
+end
+
+(* --- per-worker state ---------------------------------------------- *)
+
+type worker_stats = {
+  mutable w_stored : int;
+  mutable w_visited : int;
+  mutable w_eager : int;
+  mutable w_backtracks : int;  (* expansions that published no child *)
+  mutable w_max_depth : int;
+  mutable w_steals : int;
+  mutable w_shared_hits : int;
+  mutable w_replayed : int;  (* firings replayed while repositioning *)
+}
+
+let zero_stats () =
+  { w_stored = 0; w_visited = 0; w_eager = 0; w_backtracks = 0;
+    w_max_depth = 0; w_steals = 0; w_shared_hits = 0; w_replayed = 0 }
+
+let default_domains () = max 2 (Domain.recommended_domain_count () - 1)
+
+let find_schedule ?(options = Search.default_options) ?domains
+    ?(cancel = Search.no_cancel) model =
+  let started = Unix.gettimeofday () in
+  let net = model.Translate.net in
+  let n_workers = match domains with Some d -> max 1 d | None -> default_domains () in
+  Ezrt_obs.Trace.begin_span ~cat:"search"
+    ~args:
+      [
+        ("engine", Ezrt_obs.Trace.Str "discrete-parallel");
+        ("policy", Ezrt_obs.Trace.Str (Priority.to_string options.Search.policy));
+        ("domains", Ezrt_obs.Trace.Int n_workers);
+      ]
+    "search";
+  (* Modest initial sizing — stripes grow geometrically, so this only
+     tunes when rehashing starts, and pre-sizing for [max_stored]
+     would zero megabytes per search. *)
+  let visited =
+    Packed_state.Sharded.create
+      ~expected:(max 1024 (min options.Search.max_stored 0x10000))
+      ()
+  in
+  let origin = make_origin () in
+  let root = { actions = []; parent = origin; depth = 1; edepth = 0 } in
+  let deques = Array.init n_workers (fun _ -> Deque.create origin) in
+  let all_stats = Array.init n_workers (fun _ -> zero_stats ()) in
+  let stop = Atomic.make false in
+  let budget_hit = Atomic.make false in
+  let cancelled = Atomic.make false in
+  let pending = Atomic.make 1 (* the root *) in
+  let stored_total = Atomic.make 0 in
+  let result : node option Atomic.t = Atomic.make None in
+  Deque.push_top deques.(0) root;
+  (* Helpers are spawned lazily by worker 0, once its deque actually
+     holds stealable work: a helper born earlier would only spin or
+     sleep waiting for the frontier to fill, and on few cores that
+     waiting taxes the very worker producing the work. *)
+  let helpers = ref [||] in
+  let helpers_spawned = ref (n_workers <= 1) in
+  let spawn_helpers = ref (fun () -> ()) in
+  let worker_body id =
+    let eng = State.Incremental.create net in
+    let view = Priority.view_of_engine eng in
+    let w = all_stats.(id) in
+    let deque = deques.(id) in
+    Ezrt_obs.Trace.begin_span ~cat:"search"
+      ~args:[ ("worker", Ezrt_obs.Trace.Int id) ]
+      "par-worker";
+    let is_final () =
+      State.Incremental.tokens eng model.Translate.final_place >= 1
+    in
+    let is_dead () =
+      List.exists
+        (fun pdm -> State.Incremental.tokens eng pdm > 0)
+        model.Translate.dead_places
+    in
+    (* current position: the last node whose state the engine is at *)
+    let cur = ref origin in
+    let rec lca a b chain =
+      if a == b then (a, chain)
+      else if a.depth > b.depth then lca a.parent b chain
+      else if b.depth > a.depth then lca a b.parent (b :: chain)
+      else lca a.parent b.parent (b :: chain)
+    in
+    let move_to target =
+      (* fast path: the spine — target is a child of the current
+         position, so it's a plain replay of its own actions *)
+      if target.parent == !cur then
+        List.iter
+          (fun (tid, q) -> State.Incremental.fire eng tid q)
+          target.actions
+      else begin
+        let anc, chain = lca !cur target [] in
+        State.Incremental.undo_to eng anc.edepth;
+        List.iter
+          (fun n ->
+            List.iter
+              (fun (tid, q) ->
+                State.Incremental.fire eng tid q;
+                if n != target then w.w_replayed <- w.w_replayed + 1)
+              n.actions)
+          chain
+      end;
+      cur := target
+    in
+    (* Collapse chains of forced immediate firings, extending the
+       node's action list in place; published to other workers only
+       via the deque mutexes, after this returns. *)
+    let eager_extend node =
+      let extra = ref [] in
+      let continue = ref true in
+      while !continue do
+        if
+          options.Search.partial_order
+          && (not (is_final ()))
+          && not (is_dead ())
+        then
+          match State.Incremental.fireable eng with
+          | [ tid ] when Search.is_immediate net tid ->
+            w.w_eager <- w.w_eager + 1;
+            w.w_visited <- w.w_visited + 1;
+            State.Incremental.fire eng tid 0;
+            extra := (tid, 0) :: !extra
+          | [] | _ :: _ -> continue := false
+        else continue := false
+      done;
+      if !extra <> [] then node.actions <- node.actions @ List.rev !extra;
+      node.edepth <- State.Incremental.depth eng
+    in
+    let progress =
+      let t0 = Unix.gettimeofday () in
+      let snapshot () =
+        let dt = Unix.gettimeofday () -. t0 in
+        let stored = Atomic.get stored_total in
+        Printf.sprintf "search[parallel x%d]: %d stored, %.0f states/s"
+          n_workers stored
+          (float_of_int stored /. max 1e-9 dt)
+      in
+      fun () -> if id = 0 then Ezrt_obs.Progress.tick snapshot
+    in
+    (* Expands [node]; returns the first child to expand next, kept "in
+       hand" so the DFS spine never round-trips through the deque —
+       only siblings are published for stealing. *)
+    let expand node =
+      move_to node;
+      eager_extend node;
+      if node.depth > w.w_max_depth then w.w_max_depth <- node.depth;
+      let next =
+        if is_final () then begin
+          if Atomic.compare_and_set result None (Some node) then ();
+          Atomic.set stop true;
+          None
+        end
+        else if is_dead () then begin
+          w.w_backtracks <- w.w_backtracks + 1;
+          None
+        end
+        else begin
+          let key = Packed_state.of_engine eng in
+          if not (Packed_state.Sharded.add visited key) then begin
+            w.w_shared_hits <- w.w_shared_hits + 1;
+            None
+          end
+          else if
+            Atomic.fetch_and_add stored_total 1 >= options.Search.max_stored
+          then begin
+            Atomic.set budget_hit true;
+            Atomic.set stop true;
+            None
+          end
+          else begin
+            w.w_stored <- w.w_stored + 1;
+            w.w_visited <- w.w_visited + 1;
+            progress ();
+            let ordered =
+              Priority.order_view options.Search.policy model view
+                (State.Incremental.fireable eng)
+            in
+            (* Children are built in one pass with no intermediate
+               lists — the node machinery competes with the sequential
+               engine on allocation, and minor collections are what the
+               race is decided by.  The engine is not mutated while
+               publishing, so firing domains can be read inline.  The
+               first candidate is kept in hand; the rest accumulate in
+               reverse, which is exactly push order: the deque top ends
+               up holding the second candidate, preserving sequential
+               order for a lone worker. *)
+            let first = ref None in
+            let rev_rest = ref [] in
+            let count = ref 0 in
+            List.iter
+              (fun tid ->
+                let domain = State.Incremental.firing_domain eng tid in
+                List.iter
+                  (fun q ->
+                    let child =
+                      {
+                        actions = [ (tid, q) ];
+                        parent = node;
+                        depth = node.depth + 1;
+                        edepth = node.edepth + 1;
+                      }
+                    in
+                    incr count;
+                    match !first with
+                    | None -> first := Some child
+                    | Some _ -> rev_rest := child :: !rev_rest)
+                  (Search.firing_times options model tid domain))
+              ordered;
+            match !first with
+            | None ->
+              w.w_backtracks <- w.w_backtracks + 1;
+              None
+            | Some _ as f ->
+              ignore (Atomic.fetch_and_add pending !count);
+              if !rev_rest <> [] then Deque.push_list deque !rev_rest;
+              f
+          end
+        end
+      in
+      Atomic.decr pending;
+      next
+    in
+    (* Workers beyond the hardware's recommended domain count are
+       opportunistic: a long-lived extra domain slows the whole
+       process on a saturated host (every stop-the-world minor
+       collection synchronizes with it), so they steal only what they
+       will expand, contribute that bounded burst of claims to the
+       shared table, and exit — any leftovers are stolen back by the
+       survivors.  At or below the recommended count workers run for
+       the whole search. *)
+    let opportunistic = id >= Domain.recommended_domain_count () in
+    let burst = ref 8 in
+    let try_steal () =
+      let got = ref false in
+      let k = ref 1 in
+      let limit = if opportunistic then Some !burst else None in
+      while (not !got) && !k < n_workers do
+        let victim = (id + !k) mod n_workers in
+        (match Deque.steal_half ?limit deques.(victim) with
+        | [] -> ()
+        | items ->
+          got := true;
+          w.w_steals <- w.w_steals + 1;
+          List.iter (fun it -> Deque.push_top deque it) items);
+        incr k
+      done;
+      !got
+    in
+    let in_hand = ref None in
+    let idle = ref 0 in
+    let running = ref true in
+    while !running do
+      if Atomic.get stop then running := false
+      else begin
+        if id = 0 && cancel () then begin
+          Atomic.set cancelled true;
+          Atomic.set stop true
+        end;
+        let next =
+          match !in_hand with
+          | Some _ as n ->
+            in_hand := None;
+            n
+          | None -> Deque.pop_top deque
+        in
+        match next with
+        | Some node ->
+          idle := 0;
+          in_hand := expand node;
+          if id = 0 && not !helpers_spawned then !spawn_helpers ();
+          if opportunistic then begin
+            decr burst;
+            if !burst <= 0 then begin
+              (* hand the unfinished spine back for the survivors *)
+              (match !in_hand with
+              | Some n ->
+                Deque.push_top deque n;
+                in_hand := None
+              | None -> ());
+              running := false
+            end
+          end
+        | None ->
+          if n_workers > 1 && try_steal () then idle := 0
+          else if Atomic.get pending = 0 then running := false
+          else begin
+            incr idle;
+            (* back off instead of spinning: on few cores the worker
+               holding the work needs the cycles, and a sleeping domain
+               also cooperates with stop-the-world collections *)
+            if !idle < 2 then Domain.cpu_relax () else Unix.sleepf 0.0002;
+            if opportunistic && !idle > 8 then running := false
+          end
+      end
+    done;
+    Ezrt_obs.Trace.end_span ~cat:"search"
+      ~args:
+        [
+          ("worker", Ezrt_obs.Trace.Int id);
+          ("stored", Ezrt_obs.Trace.Int w.w_stored);
+          ("steals", Ezrt_obs.Trace.Int w.w_steals);
+          ("shared_hits", Ezrt_obs.Trace.Int w.w_shared_hits);
+        ]
+      "par-worker"
+  in
+  (spawn_helpers :=
+     fun () ->
+       if Deque.length deques.(0) >= n_workers - 1 then begin
+         helpers_spawned := true;
+         helpers :=
+           Array.init (n_workers - 1) (fun i ->
+               Domain.spawn (fun () -> worker_body (i + 1)))
+       end);
+  worker_body 0;
+  Array.iter Domain.join !helpers;
+  let elapsed_s = Unix.gettimeofday () -. started in
+  (* aggregate per-worker counters *)
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 all_stats in
+  let metrics =
+    {
+      Search.stored = sum (fun w -> w.w_stored);
+      visited = sum (fun w -> w.w_visited);
+      eager = sum (fun w -> w.w_eager);
+      backtracks = sum (fun w -> w.w_backtracks);
+      max_depth =
+        Array.fold_left (fun acc w -> max acc w.w_max_depth) 0 all_stats;
+      elapsed_s;
+    }
+  in
+  let domains_used =
+    Array.fold_left
+      (fun acc w ->
+        if w.w_visited > 0 || w.w_shared_hits > 0 || w.w_steals > 0 then
+          acc + 1
+        else acc)
+      0 all_stats
+  in
+  let table = Packed_state.Sharded.stats visited in
+  let steals = sum (fun w -> w.w_steals) in
+  let shared_hits = sum (fun w -> w.w_shared_hits) in
+  let replayed_fires = sum (fun w -> w.w_replayed) in
+  let outcome =
+    match Atomic.get result with
+    | Some node ->
+      let rec path n acc =
+        if n == origin then acc else path n.parent (n.actions @ acc)
+      in
+      Ok (Schedule.of_actions (path node []))
+    | None ->
+      if Atomic.get cancelled || Atomic.get budget_hit then
+        Error Search.Budget_exhausted
+      else Error Search.Infeasible
+  in
+  Ezrt_obs.Trace.end_span ~cat:"search"
+    ~args:
+      [
+        ("stored", Ezrt_obs.Trace.Int metrics.Search.stored);
+        ("steals", Ezrt_obs.Trace.Int steals);
+        ("domains_used", Ezrt_obs.Trace.Int domains_used);
+      ]
+    "search";
+  let open Ezrt_obs in
+  let labels = [ ("engine", "discrete-parallel") ] in
+  let bump name help v = Metrics.add (Metrics.counter ~help ~labels name) v in
+  bump "ezrt_search_stored_states_total" "Search nodes stored"
+    metrics.Search.stored;
+  bump "ezrt_search_visited_states_total" "Search nodes visited"
+    metrics.Search.visited;
+  bump "ezrt_search_eager_fires_total"
+    "Forced immediate firings collapsed without storing a node"
+    metrics.Search.eager;
+  bump "ezrt_search_backtracks_total" "Exhausted search nodes"
+    metrics.Search.backtracks;
+  bump "ezrt_par_steals_total" "Work-stealing operations" steals;
+  bump "ezrt_par_shared_hits_total"
+    "Expansions skipped because the state was already claimed in the \
+     shared table"
+    shared_hits;
+  bump "ezrt_par_replayed_fires_total"
+    "Firings replayed while repositioning after pops and steals"
+    replayed_fires;
+  bump "ezrt_par_table_contended_total"
+    "Shared-table lock acquisitions that had to wait"
+    table.Packed_state.Sharded.contended;
+  bump "ezrt_par_table_entries_total" "Shared visited-table entries"
+    table.Packed_state.Sharded.entries;
+  Metrics.observe
+    (Metrics.timer ~help:"Wall-clock time spent in search" ~labels
+       "ezrt_search_duration")
+    (max 0.0 elapsed_s);
+  {
+    outcome;
+    metrics;
+    domains_used;
+    steals;
+    shared_hits;
+    replayed_fires;
+    table;
+  }

@@ -17,6 +17,7 @@ module Meaning = Ezrt_blocks.Meaning
 type engine =
   | Discrete
   | Classes
+  | Parallel of int
 
 type config = {
   engine : engine;
@@ -27,6 +28,10 @@ type config = {
 let config_to_string c =
   match c.engine with
   | Classes -> "classes"
+  | Parallel d ->
+    Printf.sprintf "parallel%d/%s%s" d
+      (Priority.to_string c.policy)
+      (if c.latest_release then "+latest-release" else "")
   | Discrete ->
     Printf.sprintf "discrete/%s%s"
       (Priority.to_string c.policy)
@@ -43,6 +48,7 @@ type t = {
   outcome : (Schedule.t, Search.failure) result;
   winner : config option;
   attempts : attempt list;  (** configurations that ran to a verdict *)
+  configs_started : int;
   domains_used : int;
   elapsed_s : float;
 }
@@ -73,6 +79,12 @@ let default_configs model =
   in
   base @ idle
   @ [ { engine = Classes; policy = Priority.Edf; latest_release = false } ]
+  @
+  (* a shared-visited parallel member only pays for itself when the
+     host has domains left over after the portfolio's own workers *)
+  (if Domain.recommended_domain_count () >= 4 then
+     [ { engine = Parallel 2; policy = Priority.Edf; latest_release = false } ]
+   else [])
 
 let class_metrics (m : Class_search.metrics) =
   {
@@ -108,6 +120,16 @@ let run_config ~max_stored ~cancel model cfg =
     in
     { config = cfg; outcome; metrics = class_metrics metrics;
       cancelled = false }
+  | Parallel domains ->
+    let options =
+      { Search.default_options with
+        policy = cfg.policy;
+        latest_release = cfg.latest_release;
+        max_stored }
+    in
+    let r = Par_search.find_schedule ~options ~domains ~cancel model in
+    { config = cfg; outcome = r.Par_search.outcome;
+      metrics = r.Par_search.metrics; cancelled = false }
 
 (* Race-level accounting: one bulk registry update after the join, so
    losers' work — invisible in the returned schedule — still shows up
@@ -140,7 +162,7 @@ let obs_flush ~winner attempts =
     attempts
 
 let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
-  let started = Unix.gettimeofday () in
+  let started_at = Unix.gettimeofday () in
   let configs =
     match configs with Some cs -> cs | None -> default_configs model
   in
@@ -158,14 +180,22 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
   let stop = Atomic.make false in
   let next = Atomic.make 0 in
   let results = Array.make n None in
+  (* members that actually began a search, as opposed to queue slots
+     claimed-then-abandoned because the race was already decided; and
+     which worker domains ran at least one of them ([worked.(w)] is
+     written only by worker [w], read after the join) *)
+  let started = Atomic.make 0 in
+  let worked = Array.make workers false in
   (* each worker drains the config queue until a winner appears; slot
      [i] is written by exactly one domain and read only after join *)
-  let worker () =
+  let worker wid =
     let continue = ref true in
     while !continue do
       let i = Atomic.fetch_and_add next 1 in
       if i >= n || Atomic.get stop then continue := false
       else begin
+        Atomic.incr started;
+        worked.(wid) <- true;
         let name = "member:" ^ config_to_string cfgs.(i) in
         (* the span opens on the worker domain, so each member gets its
            own track in the trace viewer *)
@@ -205,10 +235,12 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
       end
     done
   in
-  if workers = 1 then worker ()
+  if workers = 1 then worker 0
   else begin
-    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let spawned =
+      List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    worker 0;
     List.iter Domain.join spawned
   end;
   let attempts =
@@ -252,6 +284,7 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
     outcome;
     winner = winner_cfg;
     attempts;
-    domains_used = workers;
-    elapsed_s = Unix.gettimeofday () -. started;
+    configs_started = Atomic.get started;
+    domains_used = Array.fold_left (fun n w -> if w then n + 1 else n) 0 worked;
+    elapsed_s = Unix.gettimeofday () -. started_at;
   }

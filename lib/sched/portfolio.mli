@@ -12,6 +12,10 @@
 type engine =
   | Discrete  (** {!Search.find_schedule}, incremental engine *)
   | Classes  (** {!Class_search.find_schedule} *)
+  | Parallel of int
+      (** {!Par_search.find_schedule} with this many worker domains —
+          a shared-visited member racing the independent ones with the
+          host's leftover domains *)
 
 type config = {
   engine : engine;
@@ -39,7 +43,12 @@ type t = {
   attempts : attempt list;
       (** configurations that reached a verdict before the race was
           decided, in configuration order *)
+  configs_started : int;
+      (** members that actually began a search — queue slots claimed
+          after the race was decided don't count *)
   domains_used : int;
+      (** worker domains that ran at least one member, as opposed to
+          the requested worker count *)
   elapsed_s : float;
 }
 
@@ -50,7 +59,9 @@ val has_release_window : Ezrt_blocks.Translate.t -> bool
 
 val default_configs : Ezrt_blocks.Translate.t -> config list
 (** Every ordering policy on the discrete engine, latest-release
-    variants when {!has_release_window}, and the class engine. *)
+    variants when {!has_release_window}, the class engine, and — on
+    hosts with at least 4 recommended domains — a 2-domain
+    shared-visited parallel member. *)
 
 val find_schedule :
   ?configs:config list ->

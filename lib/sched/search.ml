@@ -176,7 +176,12 @@ let find_schedule_incremental ~options ~cancel model counters =
   let net = model.Translate.net in
   let eng = State.Incremental.create net in
   let view = Priority.view_of_engine eng in
-  let failed = Packed_state.Table.create 4096 in
+  (* Size the memo from the stored-state budget (capped — Hashtbl grows
+     on demand, this only avoids rehash churn on the way up without
+     zeroing megabytes for searches that stay small). *)
+  let failed =
+    Packed_state.Table.create (max 1024 (min options.max_stored 0x10000))
+  in
   let budget_hit = ref false in
   let progress = progress_reporter ~engine:"discrete-incremental" counters in
   let is_final () = State.Incremental.tokens eng model.Translate.final_place >= 1 in
@@ -239,13 +244,28 @@ let find_schedule_incremental ~options ~cancel model counters =
       end
     end
   in
-  match
-    let path0 = eager_advance [] in
-    if is_final () then raise (Found path0);
-    dfs 0 path0
-  with
-  | () -> Error (if !budget_hit then Budget_exhausted else Infeasible)
-  | exception Found path_rev -> Ok (Schedule.of_actions (List.rev path_rev))
+  let outcome =
+    match
+      let path0 = eager_advance [] in
+      if is_final () then raise (Found path0);
+      dfs 0 path0
+    with
+    | () -> Error (if !budget_hit then Budget_exhausted else Infeasible)
+    | exception Found path_rev -> Ok (Schedule.of_actions (List.rev path_rev))
+  in
+  let st = Packed_state.Table.load_stats failed in
+  let bump name help v =
+    Ezrt_obs.Metrics.add
+      (Ezrt_obs.Metrics.counter ~help
+         ~labels:[ ("engine", "discrete-incremental") ]
+         name)
+      v
+  in
+  bump "ezrt_search_table_entries_total" "Failed-state memo entries"
+    st.Packed_state.entries;
+  bump "ezrt_search_table_collisions_total"
+    "Failed-state memo entries sharing a bucket" st.Packed_state.collisions;
+  outcome
 
 let no_cancel () = false
 

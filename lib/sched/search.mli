@@ -41,6 +41,23 @@ type failure =
 
 val failure_to_string : failure -> string
 
+val no_cancel : unit -> bool
+
+val is_immediate : Ezrt_tpn.Pnet.t -> Ezrt_tpn.Pnet.transition_id -> bool
+(** A \[0,0\] transition — the ones the partial-order reduction may
+    fire eagerly when they are the lone candidate. *)
+
+val firing_times :
+  options ->
+  Ezrt_blocks.Translate.t ->
+  Ezrt_tpn.Pnet.transition_id ->
+  int * Ezrt_tpn.Time_interval.bound ->
+  int list
+(** Firing times to branch on within a firing domain: the earliest
+    always, plus the latest of release windows under
+    [latest_release].  Shared by the sequential engines and
+    {!Par_search} so all explore the same choice space. *)
+
 type metrics = {
   stored : int;
       (** search nodes examined — the paper's "states searched" *)

@@ -1,5 +1,5 @@
 (** Packed TLTS states: a state serialized into a compact [Bytes.t]
-    with its full-width FNV-1a hash memoized, for the search's large
+    with its full-width Zobrist hash memoized, for the search's large
     memo tables.  The encoding picks the narrowest cell width (16, 32
     or 64-bit little-endian) that fits every marking/clock cell of the
     state, so equal states always encode to equal bytes, and the hash
@@ -23,7 +23,9 @@ val of_state : State.t -> t
 
 val of_engine : State.Incremental.engine -> t
 (** Pack the engine's current state without materializing a
-    {!State.t}. *)
+    {!State.t}.  Reuses the engine's incrementally maintained
+    {!State.Incremental.zhash}, so no cell is hashed at all — keying a
+    search node costs one serialization scan. *)
 
 val unpack : t -> int array
 (** Decode every cell back, in pack order: the [n_places] marking cells
@@ -37,4 +39,52 @@ val hash : t -> int
 
 val byte_size : t -> int
 
-module Table : Hashtbl.S with type key = t
+type table_stats = {
+  entries : int;
+  buckets : int;
+  load : float;  (** entries / buckets *)
+  collisions : int;  (** entries sharing a bucket with an earlier one *)
+  max_bucket : int;
+}
+
+(** Hash tables keyed by packed states, plus occupancy introspection
+    for the metrics flush at the end of a search. *)
+module Table : sig
+  include Hashtbl.S with type key = t
+
+  val load_stats : 'a t -> table_stats
+end
+
+(** Lock-striped concurrent set of packed states — the parallel
+    search's shared visited table.  2^k stripes selected by the low
+    hash bits, each an independently-locked open-addressed table
+    (linear probing, grown at ~3/4 load), so all operations on one key
+    serialize through one mutex: the set is linearizable, and
+    contention spreads 1/stripes for the uniform Zobrist hashes. *)
+module Sharded : sig
+  type table
+
+  type stats = {
+    stripes : int;
+    entries : int;
+    capacity : int;  (** total slots across stripes *)
+    load : float;  (** entries / capacity *)
+    collisions : int;  (** probe steps past home slots, cumulative *)
+    contended : int;  (** [Mutex.try_lock] misses across all ops *)
+  }
+
+  val create : ?stripes:int -> ?expected:int -> unit -> table
+  (** [stripes] (default 64) is rounded up to a power of two;
+      [expected] pre-sizes the stripes for that many total entries. *)
+
+  val add : table -> t -> bool
+  (** [add t k] inserts [k]; [true] iff [k] was not already present —
+      the atomic claim the parallel search races on. *)
+
+  val mem : table -> t -> bool
+
+  val length : table -> int
+  (** Exact once all writers have quiesced; monotone under writers. *)
+
+  val stats : table -> stats
+end

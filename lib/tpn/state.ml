@@ -112,27 +112,50 @@ let equal a b =
   in
   arr_equal a.marking b.marking && arr_equal a.clocks b.clocks
 
-(* FNV-1a over every cell: the stdlib polymorphic hash only samples a
-   prefix, which collides badly on states differing deep in the
-   vectors.  The mix folds the full native word 16 bits at a time
-   (four rounds cover 64 bits, [asr] propagating the sign), so cells
-   beyond 2^24 — long clocks, large token counts — still perturb the
-   hash. *)
-let mix_cell h x =
-  let h = ref h and v = ref x in
-  for _ = 0 to 3 do
-    h := (!h lxor (!v land 0xffff)) * 0x01000193 land max_int;
-    v := !v asr 16
-  done;
-  !h
+(* Zobrist hashing: the hash of a state is the XOR of one contribution
+   per marking cell and one per *enabled* clock cell.  XOR makes the
+   hash incrementally maintainable — firing a transition only touches
+   the contributions of the cells it changes, and undo restores the
+   saved word — which is what lets the incremental engine key a search
+   node without re-hashing the whole state vector.  The contribution
+   "table" is virtual: cell values are unbounded (clocks run to the
+   hyper-period), so contributions are computed on demand by a
+   splitmix-style finalizer instead of being precomputed.  Like the
+   earlier full-word FNV, every bit of every cell perturbs the hash. *)
+module Zobrist = struct
+  (* SplitMix64-style finalizer truncated to OCaml's native word; the
+     constants are 62-bit-safe.  [land max_int] keeps results
+     non-negative so XOR-combinations stay non-negative too. *)
+  let mix x =
+    let x = x * 0x2545F4914F6CDD1D in
+    let x = (x lxor (x lsr 30)) * 0x3C79AC492BA7B653 in
+    let x = (x lxor (x lsr 27)) * 0x1C69B3F74AC4AE35 in
+    (x lxor (x lsr 31)) land max_int
 
-let fnv_basis = 0x811c9dc5
+  (* Place and clock contributions draw from disjoint pre-images (the
+     inner argument's parity) so a marking cell can never cancel a
+     clock cell with the same index and value. *)
+  let place p v = mix (mix ((v lsl 1) lor 0) + (p * 0x9E3779B97F4A7C))
+  let clock t c = mix (mix ((c lsl 1) lor 1) + (t * 0x9E3779B97F4A7C))
+
+  let of_cells ~n_places ~n_transitions ~tokens ~clocks =
+    let h = ref 0 in
+    for p = 0 to n_places - 1 do
+      h := !h lxor place p (tokens p)
+    done;
+    for t = 0 to n_transitions - 1 do
+      let c = clocks t in
+      if c >= 0 then h := !h lxor clock t c
+    done;
+    !h
+end
 
 let hash s =
-  let h = ref fnv_basis in
-  Array.iter (fun x -> h := mix_cell !h x) s.marking;
-  Array.iter (fun x -> h := mix_cell !h x) s.clocks;
-  !h
+  Zobrist.of_cells
+    ~n_places:(Array.length s.marking)
+    ~n_transitions:(Array.length s.clocks)
+    ~tokens:(fun p -> s.marking.(p))
+    ~clocks:(fun t -> s.clocks.(t))
 
 let pp net fmt s =
   let marked = ref [] in
@@ -195,6 +218,9 @@ module Incremental = struct
     mutable trail : int array;
     mutable trail_len : int;
     mutable depth : int;
+    (* incrementally maintained Zobrist hash of the current state;
+       always equals [hash (snapshot e)] *)
+    mutable zhash : int;
     (* fused candidate analysis, invalidated by fire/undo *)
     mutable cache_valid : bool;
     mutable cached_min_dub : Time_interval.bound;
@@ -231,6 +257,7 @@ module Incremental = struct
         trail = Array.make (max 16 (4 * (n_places + n_trans))) 0;
         trail_len = 0;
         depth = 0;
+        zhash = 0;
         cache_valid = false;
         cached_min_dub = Time_interval.Infinity;
         cached_candidates = [];
@@ -245,6 +272,10 @@ module Incremental = struct
         e.n_enabled <- e.n_enabled + 1
       end
     done;
+    e.zhash <-
+      Zobrist.of_cells ~n_places ~n_transitions:n_trans
+        ~tokens:(fun p -> e.marking.(p))
+        ~clocks:(fun t -> if e.pos.(t) >= 0 then 0 else -1);
     e
 
   let net e = e.net
@@ -253,6 +284,7 @@ module Incremental = struct
   let tokens e p = e.marking.(p)
   let is_enabled e tid = e.pos.(tid) >= 0
   let clock e tid = if e.pos.(tid) >= 0 then e.now - e.enabled_at.(tid) else -1
+  let zhash e = e.zhash
 
   let check_enabled who e tid =
     if e.pos.(tid) < 0 then
@@ -335,12 +367,13 @@ module Incremental = struct
     e.pos.(tid) <- -1
 
   (* Trail frame, pushed bottom-up:
-       old_now
+       old_now, old_zhash
        (old_tokens, place) x k,        k
        (old_enabled_at | -1, tid) x m, m
      The -1 sentinel means the transition was disabled before the
      record.  Records replay in reverse on undo, so a cell touched
-     twice lands back on its first pre-image. *)
+     twice lands back on its first pre-image; the saved hash word makes
+     undo restore the Zobrist hash bit-for-bit without recomputing. *)
 
   let fire e tid q =
     check_enabled "fire" e tid;
@@ -355,6 +388,18 @@ module Incremental = struct
            (Pnet.transition_name e.net tid));
     let net = e.net in
     push e e.now;
+    push e e.zhash;
+    let h = ref e.zhash in
+    (* Letting q time units pass advances the clock of *every* enabled
+       transition, so their hash contributions shift from c to c + q.
+       O(enabled) XORs — still far cheaper than rehashing the state,
+       and free on the q = 0 firings that dominate eager chains. *)
+    if q > 0 then
+      for i = 0 to e.n_enabled - 1 do
+        let t = e.enabled.(i) in
+        let c = e.now - e.enabled_at.(t) in
+        h := !h lxor Zobrist.clock t c lxor Zobrist.clock t (c + q)
+      done;
     e.now <- e.now + q;
     let writes = ref 1 in
     (* token moves, recording every touched place *)
@@ -362,7 +407,9 @@ module Incremental = struct
     let touch p delta =
       push e e.marking.(p);
       push e p;
+      h := !h lxor Zobrist.place p e.marking.(p);
       e.marking.(p) <- e.marking.(p) + delta;
+      h := !h lxor Zobrist.place p e.marking.(p);
       incr places_changed;
       incr writes
     in
@@ -383,10 +430,13 @@ module Incremental = struct
       if enabled_now && not was then begin
         record_trans t (-1);
         set_add e t;
-        e.enabled_at.(t) <- e.now
+        e.enabled_at.(t) <- e.now;
+        h := !h lxor Zobrist.clock t 0
       end
       else if (not enabled_now) && was then begin
         record_trans t e.enabled_at.(t);
+        (* contribution already advanced to the post-q clock above *)
+        h := !h lxor Zobrist.clock t (e.now - e.enabled_at.(t));
         set_remove e t
       end
     in
@@ -401,9 +451,12 @@ module Incremental = struct
        enabled (a newly re-enabled one already carries [now]) *)
     if e.pos.(tid) >= 0 && e.enabled_at.(tid) <> e.now then begin
       record_trans tid e.enabled_at.(tid);
+      h := !h lxor Zobrist.clock tid (e.now - e.enabled_at.(tid))
+           lxor Zobrist.clock tid 0;
       e.enabled_at.(tid) <- e.now
     end;
     push e !trans_changed;
+    e.zhash <- !h;
     e.depth <- e.depth + 1;
     e.cache_valid <- false;
     incr fires;
@@ -427,6 +480,7 @@ module Incremental = struct
       let old = pop e in
       e.marking.(p) <- old
     done;
+    e.zhash <- pop e;
     e.now <- pop e;
     e.depth <- e.depth - 1;
     e.cache_valid <- false

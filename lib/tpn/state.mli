@@ -52,14 +52,36 @@ val fire : Pnet.t -> t -> Pnet.transition_id -> int -> t
 val equal : t -> t -> bool
 
 val hash : t -> int
-(** FNV-1a over every marking and clock cell, mixing the full native
-    word of each cell. *)
+(** Zobrist hash: the XOR of one {!Zobrist.place} contribution per
+    marking cell and one {!Zobrist.clock} contribution per enabled
+    clock cell.  Every bit of every cell perturbs the hash, and the
+    XOR structure is what lets {!Incremental} maintain it across
+    fire/undo without rehashing the state. *)
 
-val mix_cell : int -> int -> int
-(** One FNV-1a round over a full word; exposed so packed encodings can
-    hash identically to {!hash}. *)
+(** Per-cell hash contributions, exposed so packed encodings can hash
+    identically to {!hash}.  The "table" is virtual — contributions
+    are computed by a splitmix-style finalizer because cell values are
+    unbounded. *)
+module Zobrist : sig
+  val mix : int -> int
+  (** The finalizer itself; non-negative output. *)
 
-val fnv_basis : int
+  val place : Pnet.place_id -> int -> int
+  (** [place p v] — contribution of marking cell [p] holding [v]. *)
+
+  val clock : Pnet.transition_id -> int -> int
+  (** [clock t c] — contribution of enabled transition [t] at clock
+      [c].  Disabled transitions (clock -1) contribute nothing. *)
+
+  val of_cells :
+    n_places:int ->
+    n_transitions:int ->
+    tokens:(Pnet.place_id -> int) ->
+    clocks:(Pnet.transition_id -> int) ->
+    int
+  (** Full fold over a state's cells; [clocks] returns -1 for disabled
+      transitions.  [hash s] is exactly this over [s]'s arrays. *)
+end
 
 val pp : Pnet.t -> Format.formatter -> t -> unit
 
@@ -99,6 +121,13 @@ module Incremental : sig
 
   val clock : engine -> Pnet.transition_id -> int
   (** [-1] when disabled, matching {!t}'s convention. *)
+
+  val zhash : engine -> int
+  (** Incrementally maintained Zobrist hash of the current state;
+      always equal to [hash (snapshot e)], bit for bit, at O(1) cost.
+      Fire updates it with the XOR contributions of the touched cells
+      (plus O(enabled) clock shifts when time advances) and undo
+      restores the saved word from the trail. *)
 
   val dlb : engine -> Pnet.transition_id -> int
   val dub : engine -> Pnet.transition_id -> Time_interval.bound

@@ -106,7 +106,9 @@ let agree ctx net (s : State.t) eng =
   let pe = Packed_state.of_engine eng in
   check_bool (ctx ^ " packed equal") true (Packed_state.equal ps pe);
   check_int (ctx ^ " packed hash = State.hash") (State.hash s)
-    (Packed_state.hash pe)
+    (Packed_state.hash pe);
+  check_int (ctx ^ " zhash = State.hash") (State.hash s)
+    (State.Incremental.zhash eng)
 
 (* Walk both representations in lockstep, firing random fireable
    transitions at random in-domain times, then unwind the engine with
@@ -277,6 +279,53 @@ let test_search_parity () =
         incr_m.Search.max_depth)
     Case_studies.all
 
+(* Zobrist maintenance: along a random walk, [zhash] must equal the
+   from-scratch [State.hash] at every prefix, and unwinding with
+   [undo_to] must restore each recorded hash word bit for bit —
+   XOR-in/XOR-out with no drift.  Walks are driven by [Ezrt_gen.Rng]
+   so failures replay from the printed seed. *)
+let test_zobrist_roundtrip () =
+  List.iter
+    (fun seed ->
+      let rng = Ezrt_gen.Rng.create seed in
+      let net =
+        random_net (Random.State.make [| Ezrt_gen.Rng.int rng 0x3fffffff |])
+      in
+      let eng = State.Incremental.create net in
+      let trail = ref [ (0, State.Incremental.zhash eng) ] in
+      let steps = ref 0 in
+      let continue = ref true in
+      while !continue && !steps < 40 do
+        match State.Incremental.fireable eng with
+        | [] -> continue := false
+        | ts ->
+          let tid = List.nth ts (Ezrt_gen.Rng.int rng (List.length ts)) in
+          let lo, hi = State.Incremental.firing_domain eng tid in
+          let q =
+            match hi with
+            | Time_interval.Finite hi -> Ezrt_gen.Rng.int_in rng lo hi
+            | Time_interval.Infinity -> lo + Ezrt_gen.Rng.int rng 4
+          in
+          State.Incremental.fire eng tid q;
+          incr steps;
+          let z = State.Incremental.zhash eng in
+          check_int
+            (Printf.sprintf "seed %d step %d: zhash = State.hash" seed !steps)
+            (State.hash (State.Incremental.snapshot eng))
+            z;
+          trail := (!steps, z) :: !trail
+      done;
+      (* unwind depth by depth, re-checking every recorded hash *)
+      List.iter
+        (fun (depth, z) ->
+          State.Incremental.undo_to eng depth;
+          check_int
+            (Printf.sprintf "seed %d undo to %d restores zhash" seed depth)
+            z
+            (State.Incremental.zhash eng))
+        !trail)
+    [ 7; 42; 1234; 90210 ]
+
 let test_search_parity_random_specs =
   qcheck ~count:60 "random specs: engines agree" arbitrary_spec (fun spec ->
       let model = Translate.translate spec in
@@ -303,6 +352,7 @@ let suite =
     case "fire validates like the oracle" test_fire_validation;
     case "packed states: widths round-trip" test_packed_widths;
     case "packed states: smaller than boxed arrays" test_packed_smaller;
+    case "zobrist fire/undo round-trips bit-for-bit" test_zobrist_roundtrip;
     slow_case "case studies: engine parity" test_search_parity;
     test_search_parity_random_specs;
   ]
