@@ -1026,6 +1026,108 @@ let a16 () =
       ("large-tight-8", large_tight_spec);
     ]
 
+(* --- A17: subsumption-pruned symbolic class engine ---------------------- *)
+
+(* Relation-heavy infeasible spec (five tasks, near-complete exclusion
+   clique plus one precedence): the search exhausts the class graph,
+   where the same marking recurs under nested domains — the workload
+   inclusion subsumption exists for.  Mirrors
+   Test_class_search.relations_spec. *)
+let relations_spec =
+  let mk i d =
+    Task.make ~name:(Printf.sprintf "q%d" i) ~wcet:7 ~deadline:d ~period:40 ()
+  in
+  let tasks = [ mk 0 22; mk 1 22; mk 2 26; mk 3 30; mk 4 34 ] in
+  let id i = (List.nth tasks i).Task.id in
+  let pairs =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j -> if j > i then Some (id i, id j) else None)
+          [ 0; 1; 2; 3; 4 ])
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Spec.make ~name:"relations" ~tasks
+    ~precedences:[ (id 0, id 1) ]
+    ~exclusions:(List.filter (fun p -> p <> (id 0, id 1)) pairs)
+    ()
+
+let a17 () =
+  section "A17" "Class engine: hash-consed store, subsumption, parallel search";
+  let domains = !bench_domains in
+  let runs = 3 in
+  let min_by_snd xs =
+    List.fold_left
+      (fun acc x -> if snd x < snd acc then x else acc)
+      (List.hd xs) (List.tl xs)
+  in
+  List.iter
+    (fun (name, spec) ->
+      let model = Translate.translate spec in
+      let cls_ms (m : Class_search.metrics) = m.Class_search.elapsed_s *. 1000. in
+      let (outcome, m), on_ms =
+        min_by_snd
+          (List.init runs (fun _ ->
+               let r = Class_search.find_schedule model in
+               (r, cls_ms (snd r))))
+      in
+      let (_, m_off), off_ms =
+        min_by_snd
+          (List.init runs (fun _ ->
+               let r = Class_search.find_schedule ~subsume:false model in
+               (r, cls_ms (snd r))))
+      in
+      let par, par_ms =
+        min_by_snd
+          (List.init runs (fun _ ->
+               let r = Par_class.find_schedule ~domains model in
+               (r, cls_ms r.Par_class.metrics)))
+      in
+      let classes_per_s =
+        float_of_int m.Class_search.visited /. max 1e-9 m.Class_search.elapsed_s
+      in
+      let speedup = on_ms /. max 1e-9 par_ms in
+      let verdicts_agree =
+        Result.is_ok outcome = Result.is_ok par.Par_class.outcome
+      in
+      Format.printf
+        "%-14s %s: %5d stored (%4d subsumed) %8.1f ms, %8.0f classes/s | \
+         no-subsume %5d stored %8.1f ms | par %8.1f ms on %d domain(s), %d \
+         steal(s), speedup %.2fx, verdicts agree: %b@."
+        name
+        (if Result.is_ok outcome then "feasible" else "infeasible")
+        m.Class_search.stored m.Class_search.subsumed on_ms classes_per_s
+        m_off.Class_search.stored off_ms par_ms par.Par_class.domains_used
+        par.Par_class.steals speedup verdicts_agree;
+      add_json ("A17_class_" ^ name)
+        [
+          ("spec", jstr name);
+          ("feasible", jbool (Result.is_ok outcome));
+          ("runs", jint runs);
+          ("stored_classes", jint m.Class_search.stored);
+          ("visited_classes", jint m.Class_search.visited);
+          ("subsumed", jint m.Class_search.subsumed);
+          ("stored_classes_no_subsume", jint m_off.Class_search.stored);
+          ("classes_per_s", jfloat classes_per_s);
+          ("elapsed_ms", jfloat on_ms);
+          ("no_subsume_elapsed_ms", jfloat off_ms);
+          ("domains_requested", jint domains);
+          ("domains_used", jint par.Par_class.domains_used);
+          ("steals", jint par.Par_class.steals);
+          ("parallel_elapsed_ms", jfloat par_ms);
+          ("parallel_speedup", jfloat speedup);
+          ("verdicts_agree_parallel", jbool verdicts_agree);
+          ( "store_entries",
+            jint par.Par_class.store.Class_store.entries );
+          ( "store_contended",
+            jint par.Par_class.store.Class_store.contended );
+        ])
+    [
+      ("mine-pump", Case_studies.mine_pump);
+      ("large-tight-8", large_tight_spec);
+      ("relations", relations_spec);
+    ]
+
 (* --- A15: differential fuzzing throughput ------------------------------ *)
 
 let a15 () =
@@ -1141,7 +1243,7 @@ let bechamel_suite () =
 
 (* The harness takes the same observability flags as ezrt: --trace FILE,
    --metrics FILE and --progress — plus --domains N (A16 worker count)
-   and --smoke (CI subset: E1, A14, A16 only).  No cmdliner here — a
+   and --smoke (CI subset: E1, A14, A16, A17 only).  No cmdliner here — a
    hand scan of argv keeps bench dependency-free. *)
 let obs_setup () =
   let argv = Sys.argv in
@@ -1184,7 +1286,8 @@ let () =
   if smoke then begin
     e1 ();
     a14 ();
-    a16 ()
+    a16 ();
+    a17 ()
   end
   else begin
     e1 ();
@@ -1211,6 +1314,7 @@ let () =
     a14 ();
     a15 ();
     a16 ();
+    a17 ();
     bechamel_suite ()
   end;
   write_json "BENCH_search.json";

@@ -209,8 +209,14 @@ let engine_arg =
 
 let domains_arg =
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
-         ~doc:"Worker domains for the parallel and portfolio engines \
-               (default: from the host's recommended domain count).")
+         ~doc:"Worker domains for the parallel, classes and portfolio \
+               engines (default: from the host's recommended domain \
+               count; classes defaults to 1).")
+
+let no_subsume_arg =
+  Arg.(value & flag & info [ "no-subsume" ]
+         ~doc:"Disable inclusion-based subsumption in the class engines \
+               (exact visited-set pruning only).")
 
 let gantt_arg =
   Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
@@ -220,7 +226,8 @@ let vcd_arg =
          ~doc:"Write the timeline as a VCD waveform here.")
 
 let schedule_cmd =
-  let run () file case policy no_po latest max_states engine domains gantt vcd =
+  let run () file case policy no_po latest max_states engine domains no_subsume
+      gantt vcd =
     with_spec file case (fun spec ->
         let finish artifact =
           Format.printf "%a" report artifact;
@@ -243,8 +250,27 @@ let schedule_cmd =
             exit 1)
         | `Classes -> (
           let model = Translate.translate spec in
-          match Class_search.find_schedule ~max_stored:max_states model with
-          | Ok schedule, metrics ->
+          let subsume = not no_subsume in
+          let outcome, metrics, par_note =
+            match domains with
+            | Some d when d > 1 ->
+              let r =
+                Par_class.find_schedule ~max_stored:max_states ~subsume
+                  ~domains:d model
+              in
+              ( r.Par_class.outcome,
+                r.Par_class.metrics,
+                Printf.sprintf ", %d domain(s) used, %d steals"
+                  r.Par_class.domains_used r.Par_class.steals )
+            | Some _ | None ->
+              let outcome, metrics =
+                Class_search.find_schedule ~max_stored:max_states ~subsume
+                  model
+              in
+              (outcome, metrics, "")
+          in
+          match outcome with
+          | Ok schedule ->
             let segments = Timeline.of_schedule model schedule in
             (match Validator.check model segments with
             | Error vs ->
@@ -255,10 +281,11 @@ let schedule_cmd =
             | Ok () ->
               let table = Table.of_segments segments in
               Format.printf
-                "class engine: %d classes stored (%d pruned eagerly), %d \
-                 backtracks, %.1f ms@."
+                "class engine: %d classes stored (%d pruned eagerly, %d \
+                 subsumed), %d backtracks%s, %.1f ms@."
                 metrics.Class_search.stored metrics.Class_search.eager
-                metrics.Class_search.backtracks
+                metrics.Class_search.subsumed metrics.Class_search.backtracks
+                par_note
                 (metrics.Class_search.elapsed_s *. 1000.);
               Format.printf "schedule table:@.%a" (Table.pp model) table;
               if gantt then Format.printf "@.%s" (Chart.render model segments);
@@ -267,7 +294,7 @@ let schedule_cmd =
                 Vcd.save_file path model segments;
                 Printf.printf "VCD written to %s\n" path
               | None -> ()))
-          | Error f, _ ->
+          | Error f ->
             prerr_endline ("ezrt: " ^ Class_search.failure_to_string f);
             exit 1)
         | `Parallel -> (
@@ -341,8 +368,8 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Synthesize a feasible pre-runtime schedule.")
     Term.(const run $ obs_term $ file_arg $ case_arg $ policy_arg $ no_po_arg
-          $ latest_arg $ max_states_arg $ engine_arg $ domains_arg $ gantt_arg
-          $ vcd_arg)
+          $ latest_arg $ max_states_arg $ engine_arg $ domains_arg
+          $ no_subsume_arg $ gantt_arg $ vcd_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 
@@ -630,7 +657,14 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary line.")
   in
-  let run () seed count smoke corpus max_stored no_shrink engines quiet =
+  let fuzz_domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains for the classes engine; above 1 the \
+                 campaign cross-checks the work-stealing parallel class \
+                 searcher against the other engines.")
+  in
+  let run () seed count smoke corpus max_stored no_shrink engines domains
+      quiet =
     let profile = if smoke then Spec_gen.smoke else Spec_gen.default in
     let count =
       match count with Some c -> c | None -> if smoke then 60 else 200
@@ -654,8 +688,8 @@ let fuzz_cmd =
     in
     let stats =
       try
-        Fuzz.run ~profile ~max_stored ?engines ~shrink:(not no_shrink) ?log
-          ~seed ~count ()
+        Fuzz.run ~profile ~max_stored ~class_domains:domains ?engines
+          ~shrink:(not no_shrink) ?log ~seed ~count ()
       with Invalid_argument msg ->
         prerr_endline ("ezrt: " ^ msg);
         exit 2
@@ -691,7 +725,8 @@ let fuzz_cmd =
        ~doc:"Differentially fuzz the synthesis engines on random \
              specifications.")
     Term.(const run $ obs_term $ seed_arg $ count_arg $ smoke_arg $ corpus_arg
-          $ fuzz_max_states_arg $ no_shrink_arg $ engines_arg $ quiet_arg)
+          $ fuzz_max_states_arg $ no_shrink_arg $ engines_arg
+          $ fuzz_domains_arg $ quiet_arg)
 
 let main_cmd =
   let doc = "embedded hard real-time software synthesis (ezRealtime)" in

@@ -5,6 +5,7 @@ module Search = Ezrt_sched.Search
 module Class_search = Ezrt_sched.Class_search
 module Portfolio = Ezrt_sched.Portfolio
 module Par_search = Ezrt_sched.Par_search
+module Par_class = Ezrt_sched.Par_class
 module Schedule = Ezrt_sched.Schedule
 module Validator = Ezrt_sched.Validator
 module Sim = Ezrt_baseline.Sim
@@ -84,7 +85,8 @@ let builtin_engines =
   [ "reference"; "incremental"; "latest-release"; "classes"; "portfolio";
     "parallel" ]
 
-let check ?(max_stored = 50_000) ?engines ?(extra = []) spec =
+let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
+    spec =
   (match engines with
   | Some names ->
     List.iter
@@ -143,7 +145,14 @@ let check ?(max_stored = 50_000) ?engines ?(extra = []) spec =
       in
       let classes =
         run "classes" (fun () ->
-            match fst (Class_search.find_schedule ~max_stored model) with
+            let outcome =
+              if class_domains > 1 then
+                (Par_class.find_schedule ~max_stored ~domains:class_domains
+                   model)
+                  .Par_class.outcome
+              else fst (Class_search.find_schedule ~max_stored model)
+            in
+            match outcome with
             | Ok s -> Feasible s
             | Error Class_search.Infeasible -> Infeasible
             | Error Class_search.Budget_exhausted ->

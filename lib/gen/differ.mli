@@ -76,12 +76,16 @@ val builtin_engines : string list
 
 val check :
   ?max_stored:int ->
+  ?class_domains:int ->
   ?engines:string list ->
   ?extra:(string * (max_stored:int -> Ezrt_blocks.Translate.t -> verdict)) list ->
   Ezrt_spec.Spec.t ->
   report
 (** Run every engine (bounded by [max_stored], default 50_000) and
-    every cross-check on one spec.  [engines] restricts the built-in
+    every cross-check on one spec.  [class_domains] (default 1) runs
+    the classes engine through the work-stealing parallel searcher
+    when greater than one, cross-checking the shared class store
+    against every other engine.  [engines] restricts the built-in
     engines that run (default: all of {!builtin_engines}; unknown
     names raise [Invalid_argument]); cross-checks needing a skipped
     engine are skipped too, which lets a campaign bisect e.g. just

@@ -27,6 +27,7 @@ type stats = {
 val run :
   ?profile:Spec_gen.profile ->
   ?max_stored:int ->
+  ?class_domains:int ->
   ?engines:string list ->
   ?shrink:bool ->
   ?log:(int -> Ezrt_spec.Spec.t -> Differ.report -> unit) ->
@@ -35,6 +36,8 @@ val run :
   unit ->
   stats
 (** Generate [count] specs from [seed] and {!Differ.check} each.
+    [class_domains] is forwarded to {!Differ.check} — greater than one
+    runs the classes engine through the parallel searcher.
     [engines] restricts which built-in engines run and cross-check
     (see {!Differ.builtin_engines}) — e.g. [["parallel"; "reference"]]
     bisects parallel-only divergences quickly; shrinking uses the same

@@ -6,6 +6,7 @@ type metrics = {
   visited : int;
   eager : int;
   backtracks : int;
+  subsumed : int;
   max_depth : int;
   elapsed_s : float;
 }
@@ -184,7 +185,65 @@ let extract net sequence =
 
 let no_cancel () = false
 
-let obs_flush (c : counters) elapsed_s =
+(* Candidate order: smallest delay lower bound first (ties by id) —
+   the dense-time analogue of the discrete engine's earliest-first
+   policy. *)
+let order_candidates net c candidates =
+  let key tid =
+    let lo, _ = State_class.delay_bounds net c tid in
+    (lo, tid)
+  in
+  List.map snd
+    (List.sort compare (List.map (fun tid -> (key tid, tid)) candidates))
+
+(* Inclusion pruning is sound for the feasibility verdict only when
+   priorities cannot un-suppress a transition inside the subsumed
+   class.  Candidates of a contained class are a subset of the
+   container's, so the minimum priority over them can only be WORSE
+   (numerically larger); a transition filtered out in the container
+   could then survive the filter in the contained class and open a
+   branch the container never explores.  Two structural conditions
+   rule that out for the nets our translation emits:
+
+   (A) every transition with a better-than-default priority has static
+       interval [0,0] — its time-firability is then marking-determined
+       (an enabled [0,0] transition always can fire first), so it is a
+       candidate in the contained class iff it is one in the
+       container, and the priority filter picks the same winners;
+   (B) every transition with a worse-than-default priority marks a
+       dead place — it only ever fires into a state the search prunes
+       as dead, so losing it in the contained class cannot lose a
+       feasible witness, and a miss reachable below the contained
+       class is equally reachable below the container.
+
+   The translation satisfies both (deadline_ok/finish/bookkeeping are
+   immediate; only deadline-miss watchdogs are demoted, and they mark
+   [pdm]); hand-written nets may not, so subsumption silently turns
+   itself off when the check fails. *)
+let subsumption_applicable (model : Translate.t) =
+  let net = model.Translate.net in
+  let default = Pnet.default_priority in
+  let marks_dead tid =
+    Array.exists
+      (fun (p, _) -> List.mem p model.Translate.dead_places)
+      net.Pnet.post.(tid)
+  in
+  let immediate tid =
+    let itv = Pnet.interval net tid in
+    Time_interval.eft itv = 0 && Time_interval.lft itv = Time_interval.Finite 0
+  in
+  let rec go tid =
+    tid < 0
+    ||
+    let p = Pnet.priority net tid in
+    (if p < default then immediate tid
+     else if p > default then marks_dead tid
+     else true)
+    && go (tid - 1)
+  in
+  go (Pnet.transition_count net - 1)
+
+let obs_flush (c : counters) (store : Class_store.stats) elapsed_s =
   let open Ezrt_obs in
   let labels = [ ("engine", "classes") ] in
   let bump name help v =
@@ -195,18 +254,32 @@ let obs_flush (c : counters) elapsed_s =
   bump "ezrt_search_eager_fires_total"
     "Forced immediate firings collapsed without storing a node" c.c_eager;
   bump "ezrt_search_backtracks_total" "Exhausted search nodes" c.c_backtracks;
+  bump "ezrt_class_store_entries_total" "Canonical domains stored"
+    store.Class_store.entries;
+  bump "ezrt_class_store_contended_total"
+    "Class-store stripe locks that had to wait"
+    store.Class_store.contended;
+  bump "ezrt_class_subsumed_total"
+    "Classes pruned by inclusion in an already-explored domain"
+    store.Class_store.subsumed;
   Metrics.observe
     (Metrics.timer ~help:"Wall-clock time spent in search" ~labels
        "ezrt_search_duration")
     (max 0.0 elapsed_s)
 
-let find_schedule ?(max_stored = 500_000) ?(cancel = no_cancel) model =
+let find_schedule ?(max_stored = 500_000) ?(subsume = true)
+    ?(cancel = no_cancel) model =
   let net = model.Translate.net in
   let started = Unix.gettimeofday () in
+  let subsume = subsume && subsumption_applicable model in
   Ezrt_obs.Trace.begin_span ~cat:"search"
-    ~args:[ ("engine", Ezrt_obs.Trace.Str "classes") ]
+    ~args:
+      [
+        ("engine", Ezrt_obs.Trace.Str "classes");
+        ("subsume", Ezrt_obs.Trace.Str (string_of_bool subsume));
+      ]
     "search";
-  let failed = State_class.Table.create 4096 in
+  let store = Class_store.create ~subsume () in
   let counters =
     { c_stored = 0; c_visited = 0; c_eager = 0; c_backtracks = 0;
       c_max_depth = 0 }
@@ -223,9 +296,15 @@ let find_schedule ?(max_stored = 500_000) ?(cancel = no_cancel) model =
   in
   let budget_hit = ref false in
   (* a lone firable transition leaves no choice: advance without
-     creating a search node *)
+     creating a search node.  Cancel is polled here too — chains of
+     forced firings are where a losing portfolio member used to
+     linger after its rivals finished. *)
   let rec eager_advance path_rev c =
     if is_final model c || is_dead model c then (path_rev, c)
+    else if cancel () then begin
+      budget_hit := true;
+      (path_rev, c)
+    end
     else
       match State_class.firable net c with
       | [ tid ] ->
@@ -234,41 +313,38 @@ let find_schedule ?(max_stored = 500_000) ?(cancel = no_cancel) model =
         eager_advance (tid :: path_rev) (State_class.fire net c tid)
       | [] | _ :: _ -> (path_rev, c)
   in
-  let order c candidates =
-    let key tid =
-      let lo, _ = State_class.delay_bounds net c tid in
-      (lo, tid)
-    in
-    List.map snd
-      (List.sort compare (List.map (fun tid -> (key tid, tid)) candidates))
-  in
+  (* The store claims a class at FIRST visit (not, as the engine once
+     did, memoizing only fully-exhausted failures): the first claimant
+     explores the whole choice space below the class before the DFS
+     ever reaches a second copy, so skipping duplicates loses no
+     witness, and a class graph cycle terminates instead of recursing
+     forever.  Subsumed classes are skipped on the same argument —
+     their behaviours are a subset of a stored class's (see
+     [subsumption_applicable]). *)
   let rec dfs depth path_rev c =
     if depth > counters.c_max_depth then counters.c_max_depth <- depth;
     if is_final model c then raise (Found path_rev);
     if cancel () then budget_hit := true;
-    if
-      (not (is_dead model c))
-      && (not (State_class.Table.mem failed c))
-      && not !budget_hit
-    then begin
+    if (not (is_dead model c)) && not !budget_hit then begin
       if counters.c_stored >= max_stored then budget_hit := true
-      else begin
-        counters.c_stored <- counters.c_stored + 1;
-        counters.c_visited <- counters.c_visited + 1;
-        progress ();
-        let candidates = order c (State_class.firable net c) in
-        List.iter
-          (fun tid ->
-            if not !budget_hit then begin
-              let path_rev, c' =
-                eager_advance (tid :: path_rev) (State_class.fire net c tid)
-              in
-              dfs (depth + 1) path_rev c'
-            end)
-          candidates;
-        counters.c_backtracks <- counters.c_backtracks + 1;
-        State_class.Table.replace failed c ()
-      end
+      else
+        match Class_store.visit store c with
+        | Class_store.Duplicate | Class_store.Subsumed -> ()
+        | Class_store.Fresh ->
+          counters.c_stored <- counters.c_stored + 1;
+          counters.c_visited <- counters.c_visited + 1;
+          progress ();
+          let candidates = order_candidates net c (State_class.firable net c) in
+          List.iter
+            (fun tid ->
+              if not !budget_hit then begin
+                let path_rev, c' =
+                  eager_advance (tid :: path_rev) (State_class.fire net c tid)
+                in
+                dfs (depth + 1) path_rev c'
+              end)
+            candidates;
+          counters.c_backtracks <- counters.c_backtracks + 1
     end
   in
   let outcome =
@@ -279,6 +355,8 @@ let find_schedule ?(max_stored = 500_000) ?(cancel = no_cancel) model =
             [
               ("stored", Ezrt_obs.Trace.Int counters.c_stored);
               ("visited", Ezrt_obs.Trace.Int counters.c_visited);
+              ("subsumed",
+               Ezrt_obs.Trace.Int (Class_store.stats store).Class_store.subsumed);
             ]
           "search")
       (fun () ->
@@ -294,13 +372,15 @@ let find_schedule ?(max_stored = 500_000) ?(cancel = no_cancel) model =
           | None -> Error Extraction_failed))
   in
   let elapsed_s = Unix.gettimeofday () -. started in
-  obs_flush counters elapsed_s;
+  let store_stats = Class_store.stats store in
+  obs_flush counters store_stats elapsed_s;
   let metrics =
     {
       stored = counters.c_stored;
       visited = counters.c_visited;
       eager = counters.c_eager;
       backtracks = counters.c_backtracks;
+      subsumed = store_stats.Class_store.subsumed;
       max_depth = counters.c_max_depth;
       elapsed_s;
     }

@@ -14,6 +14,8 @@ type metrics = {
   visited : int;
   eager : int;  (** classes skipped by singleton-chain collapsing *)
   backtracks : int;
+  subsumed : int;
+      (** classes pruned by inclusion in an already-explored domain *)
   max_depth : int;
   elapsed_s : float;
 }
@@ -28,12 +30,41 @@ type failure =
 
 val failure_to_string : failure -> string
 
+val subsumption_applicable : Ezrt_blocks.Translate.t -> bool
+(** Whether inclusion-based pruning preserves the feasibility verdict
+    under this net's priorities: every better-than-default priority is
+    on a [0,0] transition (marking-determined firability) and every
+    worse-than-default priority marks a dead place.  Both engines gate
+    [~subsume] on this, so hand-written nets that violate it fall back
+    to exact visited-set pruning automatically. *)
+
 val find_schedule :
   ?max_stored:int ->
+  ?subsume:bool ->
   ?cancel:(unit -> bool) ->
   Ezrt_blocks.Translate.t ->
   (Schedule.t, failure) result * metrics
-(** [max_stored] defaults to 500_000.  [cancel] is polled at every
-    stored class (default: never); when it returns [true] the search
-    unwinds and reports {!Budget_exhausted} — used by the parallel
-    portfolio to stop losing configurations. *)
+(** [max_stored] defaults to 500_000.  [subsume] (default [true])
+    enables inclusion pruning when {!subsumption_applicable} holds.
+    [cancel] is polled at every visited class, including forced
+    eager-advance chains (default: never); when it returns [true] the
+    search unwinds and reports {!Budget_exhausted} — used by the
+    parallel portfolio to stop losing configurations. *)
+
+(**/**)
+
+(* Shared with the parallel class engine ({!Par_class}). *)
+
+val is_final : Ezrt_blocks.Translate.t -> Ezrt_tpn.State_class.t -> bool
+val is_dead : Ezrt_blocks.Translate.t -> Ezrt_tpn.State_class.t -> bool
+
+val order_candidates :
+  Ezrt_tpn.Pnet.t ->
+  Ezrt_tpn.State_class.t ->
+  Ezrt_tpn.Pnet.transition_id list ->
+  Ezrt_tpn.Pnet.transition_id list
+
+val extract :
+  Ezrt_tpn.Pnet.t -> Ezrt_tpn.Pnet.transition_id list -> Schedule.t option
+
+(**/**)

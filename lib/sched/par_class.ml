@@ -1,0 +1,321 @@
+(* Work-stealing parallel DFS over the state-class graph.
+
+   Structurally a simplification of Par_search: classes are immutable
+   values ([State_class.fire] is pure), so there is no incremental
+   engine to reposition — a node carries its class and the reversed
+   transition path that produced it, and moving between nodes is free.
+   What is shared is the Class_store: a node claims its canonical
+   class at first visit (Fresh) before expanding; Duplicate and
+   Subsumed answers mean some worker already owns an equal or
+   containing domain under the same marking, so the subtree is pruned
+   globally on the same soundness argument as the sequential engine
+   (see Class_search and DESIGN.md).
+
+   Termination mirrors Par_search: [pending] counts nodes pushed but
+   not yet expanded; a worker finding its deque empty steals, and when
+   [pending] hits 0 the explored choice space is exhausted. *)
+
+open Ezrt_tpn
+module Translate = Ezrt_blocks.Translate
+
+type t = {
+  outcome : (Schedule.t, Class_search.failure) result;
+  metrics : Class_search.metrics;
+  domains_used : int;
+  steals : int;
+  store : Class_store.stats;
+}
+
+type node = {
+  path_rev : Pnet.transition_id list;
+  cls : State_class.t;
+  depth : int;
+}
+
+type worker_stats = {
+  mutable w_stored : int;
+  mutable w_visited : int;
+  mutable w_eager : int;
+  mutable w_backtracks : int;
+  mutable w_max_depth : int;
+  mutable w_steals : int;
+}
+
+let zero_stats () =
+  { w_stored = 0; w_visited = 0; w_eager = 0; w_backtracks = 0;
+    w_max_depth = 0; w_steals = 0 }
+
+let default_domains () = max 2 (Domain.recommended_domain_count () - 1)
+
+let find_schedule ?(max_stored = 500_000) ?(subsume = true) ?domains
+    ?(cancel = fun () -> false) model =
+  let started = Unix.gettimeofday () in
+  let net = model.Translate.net in
+  let n_workers =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let subsume = subsume && Class_search.subsumption_applicable model in
+  Ezrt_obs.Trace.begin_span ~cat:"search"
+    ~args:
+      [
+        ("engine", Ezrt_obs.Trace.Str "classes-parallel");
+        ("domains", Ezrt_obs.Trace.Int n_workers);
+        ("subsume", Ezrt_obs.Trace.Str (string_of_bool subsume));
+      ]
+    "search";
+  let store = Class_store.create ~subsume () in
+  let root = { path_rev = []; cls = State_class.initial net; depth = 0 } in
+  (* the dummy fills vacated deque slots; never expanded *)
+  let deques = Array.init n_workers (fun _ -> Deque.create root) in
+  let all_stats = Array.init n_workers (fun _ -> zero_stats ()) in
+  let stop = Atomic.make false in
+  let budget_hit = Atomic.make false in
+  let cancelled = Atomic.make false in
+  let pending = Atomic.make 1 in
+  let stored_total = Atomic.make 0 in
+  let result : Pnet.transition_id list option Atomic.t = Atomic.make None in
+  Deque.push_top deques.(0) root;
+  let helpers = ref [||] in
+  let helpers_spawned = ref (n_workers <= 1) in
+  let spawn_helpers = ref (fun () -> ()) in
+  let worker_body id =
+    let w = all_stats.(id) in
+    let deque = deques.(id) in
+    Ezrt_obs.Trace.begin_span ~cat:"search"
+      ~args:[ ("worker", Ezrt_obs.Trace.Int id) ]
+      "class-worker";
+    let progress =
+      let snapshot () =
+        let dt = Unix.gettimeofday () -. started in
+        let stored = Atomic.get stored_total in
+        Printf.sprintf "search[classes x%d]: %d stored, %.0f classes/s"
+          n_workers stored
+          (float_of_int stored /. max 1e-9 dt)
+      in
+      fun () -> if id = 0 then Ezrt_obs.Progress.tick snapshot
+    in
+    (* forced singleton chains collapse without publishing a node,
+       exactly as in the sequential engine *)
+    let rec eager_advance path_rev c =
+      if Class_search.is_final model c || Class_search.is_dead model c then
+        (path_rev, c)
+      else
+        match State_class.firable net c with
+        | [ tid ] ->
+          w.w_eager <- w.w_eager + 1;
+          w.w_visited <- w.w_visited + 1;
+          eager_advance (tid :: path_rev) (State_class.fire net c tid)
+        | [] | _ :: _ -> (path_rev, c)
+    in
+    (* Expands [node]; returns the first child to expand next, kept in
+       hand so the DFS spine never round-trips through the deque. *)
+    let expand node =
+      let path_rev, c = eager_advance node.path_rev node.cls in
+      if node.depth > w.w_max_depth then w.w_max_depth <- node.depth;
+      let next =
+        if Class_search.is_final model c then begin
+          ignore (Atomic.compare_and_set result None (Some path_rev));
+          Atomic.set stop true;
+          None
+        end
+        else if Class_search.is_dead model c then begin
+          w.w_backtracks <- w.w_backtracks + 1;
+          None
+        end
+        else begin
+          match Class_store.visit store c with
+          | Class_store.Duplicate | Class_store.Subsumed -> None
+          | Class_store.Fresh ->
+            if Atomic.fetch_and_add stored_total 1 >= max_stored then begin
+              Atomic.set budget_hit true;
+              Atomic.set stop true;
+              None
+            end
+            else begin
+              w.w_stored <- w.w_stored + 1;
+              w.w_visited <- w.w_visited + 1;
+              progress ();
+              let candidates =
+                Class_search.order_candidates net c (State_class.firable net c)
+              in
+              (* first candidate kept in hand; the rest accumulate in
+                 reverse, which is push order: the deque top ends up
+                 holding the second candidate, preserving sequential
+                 order for a lone worker *)
+              let first = ref None in
+              let rev_rest = ref [] in
+              let count = ref 0 in
+              List.iter
+                (fun tid ->
+                  let child =
+                    {
+                      path_rev = tid :: path_rev;
+                      cls = State_class.fire net c tid;
+                      depth = node.depth + 1;
+                    }
+                  in
+                  incr count;
+                  match !first with
+                  | None -> first := Some child
+                  | Some _ -> rev_rest := child :: !rev_rest)
+                candidates;
+              match !first with
+              | None ->
+                w.w_backtracks <- w.w_backtracks + 1;
+                None
+              | Some _ as f ->
+                ignore (Atomic.fetch_and_add pending !count);
+                if !rev_rest <> [] then Deque.push_list deque !rev_rest;
+                f
+            end
+        end
+      in
+      Atomic.decr pending;
+      next
+    in
+    let opportunistic = id >= Domain.recommended_domain_count () in
+    let burst = ref 8 in
+    let try_steal () =
+      let got = ref false in
+      let k = ref 1 in
+      let limit = if opportunistic then Some !burst else None in
+      while (not !got) && !k < n_workers do
+        let victim = (id + !k) mod n_workers in
+        (match Deque.steal_half ?limit deques.(victim) with
+        | [] -> ()
+        | items ->
+          got := true;
+          w.w_steals <- w.w_steals + 1;
+          List.iter (fun it -> Deque.push_top deque it) items);
+        incr k
+      done;
+      !got
+    in
+    let in_hand = ref None in
+    let idle = ref 0 in
+    let running = ref true in
+    while !running do
+      if Atomic.get stop then running := false
+      else begin
+        if id = 0 && cancel () then begin
+          Atomic.set cancelled true;
+          Atomic.set stop true
+        end;
+        let next =
+          match !in_hand with
+          | Some _ as n ->
+            in_hand := None;
+            n
+          | None -> Deque.pop_top deque
+        in
+        match next with
+        | Some node ->
+          idle := 0;
+          in_hand := expand node;
+          if id = 0 && not !helpers_spawned then !spawn_helpers ();
+          if opportunistic then begin
+            decr burst;
+            if !burst <= 0 then begin
+              (match !in_hand with
+              | Some n ->
+                Deque.push_top deque n;
+                in_hand := None
+              | None -> ());
+              running := false
+            end
+          end
+        | None ->
+          if n_workers > 1 && try_steal () then idle := 0
+          else if Atomic.get pending = 0 then running := false
+          else begin
+            incr idle;
+            if !idle < 2 then Domain.cpu_relax () else Unix.sleepf 0.0002;
+            if opportunistic && !idle > 8 then running := false
+          end
+      end
+    done;
+    Ezrt_obs.Trace.end_span ~cat:"search"
+      ~args:
+        [
+          ("worker", Ezrt_obs.Trace.Int id);
+          ("stored", Ezrt_obs.Trace.Int w.w_stored);
+          ("steals", Ezrt_obs.Trace.Int w.w_steals);
+        ]
+      "class-worker"
+  in
+  (spawn_helpers :=
+     fun () ->
+       if Deque.length deques.(0) >= n_workers - 1 then begin
+         helpers_spawned := true;
+         helpers :=
+           Array.init (n_workers - 1) (fun i ->
+               Domain.spawn (fun () -> worker_body (i + 1)))
+       end);
+  worker_body 0;
+  Array.iter Domain.join !helpers;
+  let elapsed_s = Unix.gettimeofday () -. started in
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 all_stats in
+  let store_stats = Class_store.stats store in
+  let metrics =
+    {
+      Class_search.stored = sum (fun w -> w.w_stored);
+      visited = sum (fun w -> w.w_visited);
+      eager = sum (fun w -> w.w_eager);
+      backtracks = sum (fun w -> w.w_backtracks);
+      subsumed = store_stats.Class_store.subsumed;
+      max_depth =
+        Array.fold_left (fun acc w -> max acc w.w_max_depth) 0 all_stats;
+      elapsed_s;
+    }
+  in
+  let domains_used =
+    Array.fold_left
+      (fun acc w -> if w.w_visited > 0 || w.w_steals > 0 then acc + 1 else acc)
+      0 all_stats
+  in
+  let steals = sum (fun w -> w.w_steals) in
+  let outcome =
+    match Atomic.get result with
+    | Some path_rev -> (
+      match Class_search.extract net (List.rev path_rev) with
+      | Some schedule -> Ok schedule
+      | None -> Error Class_search.Extraction_failed)
+    | None ->
+      if Atomic.get cancelled || Atomic.get budget_hit then
+        Error Class_search.Budget_exhausted
+      else Error Class_search.Infeasible
+  in
+  Ezrt_obs.Trace.end_span ~cat:"search"
+    ~args:
+      [
+        ("stored", Ezrt_obs.Trace.Int metrics.Class_search.stored);
+        ("steals", Ezrt_obs.Trace.Int steals);
+        ("domains_used", Ezrt_obs.Trace.Int domains_used);
+      ]
+    "search";
+  let open Ezrt_obs in
+  let labels = [ ("engine", "classes-parallel") ] in
+  let bump name help v = Metrics.add (Metrics.counter ~help ~labels name) v in
+  bump "ezrt_search_stored_states_total" "Search nodes stored"
+    metrics.Class_search.stored;
+  bump "ezrt_search_visited_states_total" "Search nodes visited"
+    metrics.Class_search.visited;
+  bump "ezrt_search_eager_fires_total"
+    "Forced immediate firings collapsed without storing a node"
+    metrics.Class_search.eager;
+  bump "ezrt_search_backtracks_total" "Exhausted search nodes"
+    metrics.Class_search.backtracks;
+  bump "ezrt_par_steals_total" "Work-stealing operations" steals;
+  bump "ezrt_class_store_entries_total" "Canonical domains stored"
+    store_stats.Class_store.entries;
+  bump "ezrt_class_store_contended_total"
+    "Class-store stripe locks that had to wait"
+    store_stats.Class_store.contended;
+  bump "ezrt_class_subsumed_total"
+    "Classes pruned by inclusion in an already-explored domain"
+    store_stats.Class_store.subsumed;
+  Metrics.observe
+    (Metrics.timer ~help:"Wall-clock time spent in search" ~labels
+       "ezrt_search_duration")
+    (max 0.0 elapsed_s);
+  { outcome; metrics; domains_used; steals; store = store_stats }

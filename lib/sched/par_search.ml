@@ -66,97 +66,7 @@ let make_origin () =
   let rec origin = { actions = []; parent = origin; depth = 0; edepth = 0 } in
   origin
 
-(* --- per-worker deques --------------------------------------------- *)
-
-(* A mutex-guarded ring buffer.  The coarse lock is deliberate: pushes
-   and pops are a few dozen ns against search-node expansions of
-   microseconds, and the same mutex gives the publication
-   happens-before for the node fields a thief reads. *)
-module Deque = struct
-  type q = {
-    mutable buf : node array;
-    mutable head : int;  (* bottom: oldest / shallowest *)
-    mutable len : int;
-    lock : Mutex.t;
-    dummy : node;
-  }
-
-  let create dummy =
-    {
-      buf = Array.make 64 dummy;
-      head = 0;
-      len = 0;
-      lock = Mutex.create ();
-      dummy;
-    }
-
-  let grow q =
-    let cap = Array.length q.buf in
-    let bigger = Array.make (2 * cap) q.dummy in
-    for i = 0 to q.len - 1 do
-      bigger.(i) <- q.buf.((q.head + i) mod cap)
-    done;
-    q.buf <- bigger;
-    q.head <- 0
-
-  let push_top q x =
-    Mutex.lock q.lock;
-    if q.len = Array.length q.buf then grow q;
-    q.buf.((q.head + q.len) mod Array.length q.buf) <- x;
-    q.len <- q.len + 1;
-    Mutex.unlock q.lock
-
-  (* One lock for a whole sibling batch; pushed in list order, so pass
-     children reversed to leave the first candidate on top. *)
-  let push_list q xs =
-    Mutex.lock q.lock;
-    List.iter
-      (fun x ->
-        if q.len = Array.length q.buf then grow q;
-        q.buf.((q.head + q.len) mod Array.length q.buf) <- x;
-        q.len <- q.len + 1)
-      xs;
-    Mutex.unlock q.lock
-
-  let pop_top q =
-    Mutex.lock q.lock;
-    let r =
-      if q.len = 0 then None
-      else begin
-        q.len <- q.len - 1;
-        let i = (q.head + q.len) mod Array.length q.buf in
-        let x = q.buf.(i) in
-        q.buf.(i) <- q.dummy;
-        Some x
-      end
-    in
-    Mutex.unlock q.lock;
-    r
-
-  (* Racy read; only used as a spawn heuristic by the deque's owner. *)
-  let length q = q.len
-
-  (* Up to half the items — capped at [limit] — from the bottom,
-     shallowest first.  Long-lived peers split the load evenly;
-     opportunistic workers cap the batch at what they will actually
-     expand, so they never hold hostage work they are about to
-     abandon. *)
-  let steal_half ?limit q =
-    Mutex.lock q.lock;
-    let k = (q.len + 1) / 2 in
-    let k = match limit with Some l -> min k l | None -> k in
-    let stolen =
-      List.init k (fun i ->
-          let j = (q.head + i) mod Array.length q.buf in
-          let x = q.buf.(j) in
-          q.buf.(j) <- q.dummy;
-          x)
-    in
-    q.head <- (q.head + k) mod Array.length q.buf;
-    q.len <- q.len - k;
-    Mutex.unlock q.lock;
-    stolen
-end
+(* --- per-worker deques: the shared [Deque] ring buffer ------------- *)
 
 (* --- per-worker state ---------------------------------------------- *)
 

@@ -18,6 +18,7 @@ type engine =
   | Discrete
   | Classes
   | Parallel of int
+  | Class_parallel of int
 
 type config = {
   engine : engine;
@@ -28,6 +29,7 @@ type config = {
 let config_to_string c =
   match c.engine with
   | Classes -> "classes"
+  | Class_parallel d -> Printf.sprintf "classes-parallel%d" d
   | Parallel d ->
     Printf.sprintf "parallel%d/%s%s" d
       (Priority.to_string c.policy)
@@ -80,10 +82,17 @@ let default_configs model =
   base @ idle
   @ [ { engine = Classes; policy = Priority.Edf; latest_release = false } ]
   @
-  (* a shared-visited parallel member only pays for itself when the
+  (* shared-visited parallel members only pay for themselves when the
      host has domains left over after the portfolio's own workers *)
   (if Domain.recommended_domain_count () >= 4 then
-     [ { engine = Parallel 2; policy = Priority.Edf; latest_release = false } ]
+     [
+       { engine = Parallel 2; policy = Priority.Edf; latest_release = false };
+       {
+         engine = Class_parallel 2;
+         policy = Priority.Edf;
+         latest_release = false;
+       };
+     ]
    else [])
 
 let class_metrics (m : Class_search.metrics) =
@@ -95,6 +104,13 @@ let class_metrics (m : Class_search.metrics) =
     max_depth = m.Class_search.max_depth;
     elapsed_s = m.Class_search.elapsed_s;
   }
+
+(* an unrealized class path is inconclusive, not a proof *)
+let class_outcome = function
+  | Ok schedule -> Ok schedule
+  | Error Class_search.Infeasible -> Error Search.Infeasible
+  | Error (Class_search.Budget_exhausted | Class_search.Extraction_failed) ->
+    Error Search.Budget_exhausted
 
 let run_config ~max_stored ~cancel model cfg =
   match cfg.engine with
@@ -109,17 +125,12 @@ let run_config ~max_stored ~cancel model cfg =
     { config = cfg; outcome; metrics; cancelled = false }
   | Classes ->
     let outcome, metrics = Class_search.find_schedule ~max_stored ~cancel model in
-    let outcome =
-      match outcome with
-      | Ok schedule -> Ok schedule
-      | Error Class_search.Infeasible -> Error Search.Infeasible
-      | Error (Class_search.Budget_exhausted | Class_search.Extraction_failed)
-        ->
-        (* an unrealized class path is inconclusive, not a proof *)
-        Error Search.Budget_exhausted
-    in
-    { config = cfg; outcome; metrics = class_metrics metrics;
-      cancelled = false }
+    { config = cfg; outcome = class_outcome outcome;
+      metrics = class_metrics metrics; cancelled = false }
+  | Class_parallel domains ->
+    let r = Par_class.find_schedule ~max_stored ~domains ~cancel model in
+    { config = cfg; outcome = class_outcome r.Par_class.outcome;
+      metrics = class_metrics r.Par_class.metrics; cancelled = false }
   | Parallel domains ->
     let options =
       { Search.default_options with

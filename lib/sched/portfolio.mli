@@ -16,6 +16,10 @@ type engine =
       (** {!Par_search.find_schedule} with this many worker domains —
           a shared-visited member racing the independent ones with the
           host's leftover domains *)
+  | Class_parallel of int
+      (** {!Par_class.find_schedule} with this many worker domains —
+          the work-stealing class engine over a shared
+          {!Ezrt_tpn.Class_store} *)
 
 type config = {
   engine : engine;
@@ -60,8 +64,8 @@ val has_release_window : Ezrt_blocks.Translate.t -> bool
 val default_configs : Ezrt_blocks.Translate.t -> config list
 (** Every ordering policy on the discrete engine, latest-release
     variants when {!has_release_window}, the class engine, and — on
-    hosts with at least 4 recommended domains — a 2-domain
-    shared-visited parallel member. *)
+    hosts with at least 4 recommended domains — 2-domain shared-visited
+    parallel members for both the discrete and the class engine. *)
 
 val find_schedule :
   ?configs:config list ->

@@ -34,6 +34,43 @@ let canonicalize t =
     done
   done
 
+(* Incremental closure: add one constraint x_i - x_j <= b to a matrix
+   already in canonical form and restore canonicality in O(n^2) instead
+   of re-running the O(n^3) Floyd-Warshall.  The closed form is unique
+   (entries are shortest paths), so on consistent inputs the result is
+   bit-identical to [constrain] + [canonicalize] — the qcheck suite in
+   test_dbm.ml pins that.  An inconsistent constraint (it would close a
+   negative cycle) is recorded by making the diagonal negative, which is
+   exactly what [is_empty] tests; entries of an empty DBM are otherwise
+   unspecified, as with Floyd-Warshall.
+
+   Why one pass suffices: any path using the new edge (i,j) more than
+   once is no shorter than one using it once (the cycle through it has
+   weight m.(j).(i) + b >= 0 on consistent inputs), so the new shortest
+   path p->q is min(m.(p).(q), m.(p).(i) + b + m.(j).(q)) over the OLD
+   entries.  Row j and column i are fixpoints of that update, so in-place
+   evaluation order cannot interfere. *)
+let tighten t i j b =
+  if b < t.m.(i).(j) then begin
+    if i = j then t.m.(i).(i) <- b
+    else begin
+      let cycle = sat_add t.m.(j).(i) b in
+      if cycle < 0 then t.m.(i).(i) <- cycle
+      else begin
+        let n = t.size in
+        let m = t.m in
+        for p = 0 to n - 1 do
+          let via = sat_add m.(p).(i) b in
+          if via < infinity then
+            for q = 0 to n - 1 do
+              let through = sat_add via m.(j).(q) in
+              if through < m.(p).(q) then m.(p).(q) <- through
+            done
+        done
+      end
+    end
+  end
+
 let is_empty t =
   let rec go i = i < t.size && (t.m.(i).(i) < 0 || go (i + 1)) in
   go 0

@@ -31,6 +31,15 @@ val canonicalize : t -> unit
 (** All-pairs shortest paths; after this, entries are the tightest
     implied bounds and {!is_empty} is meaningful. *)
 
+val tighten : t -> int -> int -> int -> unit
+(** [tighten m i j b] adds [x_i - x_j <= b] to a {e canonical} matrix
+    and restores canonical form in O(n²) (one row-column propagation
+    instead of the O(n³) Floyd–Warshall).  On consistent inputs the
+    result is bit-identical to {!constrain} followed by
+    {!canonicalize}; an inconsistent constraint leaves a negative
+    diagonal entry so {!is_empty} holds (other entries are then
+    unspecified, and further [tighten] calls keep the matrix empty). *)
+
 val is_empty : t -> bool
 (** True when the constraint set is unsatisfiable (requires canonical
     form). *)

@@ -43,13 +43,15 @@ let var_of c tid =
   go 0
 
 (* Domain restricted to "tid fires first": θ_f <= θ_j for every other
-   enabled j. *)
+   enabled j.  The class domain is canonical, so each added constraint
+   is an O(n²) incremental tightening — and most are no-ops (the bound
+   already holds), so the common cost is far below the full O(n³)
+   re-canonicalization this used to pay. *)
 let fires_first_domain c f_var =
   let d = Dbm.copy c.domain in
   for j = 1 to Dbm.dim d do
-    if j <> f_var then Dbm.constrain d f_var j 0
+    if j <> f_var then Dbm.tighten d f_var j 0
   done;
-  Dbm.canonicalize d;
   d
 
 let time_firable c tid =
@@ -105,6 +107,11 @@ let fire (net : Pnet.t) c tid =
   in
   let k = Array.length enabled' in
   let domain = Dbm.create k in
+  (* Pass 1 — persistent block: a projection of the canonical [fired]
+     matrix onto the kept variables (change of origin to θ_f).  A
+     projection of a canonical DBM is canonical, and the untouched
+     newly-enabled rows/columns stay at infinity, so the whole matrix
+     is canonical after this pass. *)
   Array.iteri
     (fun i tid_i ->
       match persistent_var tid_i with
@@ -119,12 +126,22 @@ let fire (net : Pnet.t) c tid =
               | Some vj -> Dbm.constrain domain (i + 1) (j + 1) (Dbm.get fired vi vj)
               | None -> ())
           enabled'
+      | None -> ())
+    enabled';
+  (* Pass 2 — newly enabled variables: static bounds added one
+     constraint at a time through the O(n²) incremental closure, which
+     keeps the matrix canonical with no final Floyd–Warshall.  The
+     closed form is unique, so the resulting class is bit-identical to
+     the constrain-then-canonicalize construction this replaces. *)
+  Array.iteri
+    (fun i tid_i ->
+      match persistent_var tid_i with
+      | Some _ -> ()
       | None ->
         let lo, hi = static_bounds net tid_i in
-        Dbm.constrain domain (i + 1) 0 hi;
-        Dbm.constrain domain 0 (i + 1) (-lo))
+        Dbm.tighten domain (i + 1) 0 hi;
+        Dbm.tighten domain 0 (i + 1) (-lo))
     enabled';
-  Dbm.canonicalize domain;
   { marking; enabled = enabled'; domain }
 
 let equal a b =

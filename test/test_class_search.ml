@@ -99,6 +99,96 @@ let prop_discrete_implies_class =
       | Error _ -> true
       | Ok _ -> Result.is_ok (fst (Class_search.find_schedule model)))
 
+(* Relation-heavy infeasible spec: five tasks in a near-complete
+   exclusion clique plus one precedence.  Infeasibility forces the
+   search to exhaust the class graph, where the same marking recurs
+   under strictly nested domains — the workload subsumption exists
+   for.  Mirrored by the A17_class_relations bench record. *)
+let relations_spec =
+  let mk i d =
+    Task.make ~name:(Printf.sprintf "q%d" i) ~wcet:7 ~deadline:d ~period:40 ()
+  in
+  let tasks = [ mk 0 22; mk 1 22; mk 2 26; mk 3 30; mk 4 34 ] in
+  let id i = (List.nth tasks i).Task.id in
+  let pairs =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j -> if j > i then Some (id i, id j) else None)
+          [ 0; 1; 2; 3; 4 ])
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Spec.make ~name:"relations" ~tasks
+    ~precedences:[ (id 0, id 1) ]
+    ~exclusions:(List.filter (fun p -> p <> (id 0, id 1)) pairs)
+    ()
+
+let test_subsumption_prunes () =
+  let model = Translate.translate relations_spec in
+  let on_outcome, on = Class_search.find_schedule model in
+  let off_outcome, off = Class_search.find_schedule ~subsume:false model in
+  check_bool "verdicts agree" true
+    (Result.is_error on_outcome = Result.is_error off_outcome);
+  check_bool "subsumption fired" true (on.Class_search.subsumed > 0);
+  check_bool "fewer classes stored" true
+    (on.Class_search.stored < off.Class_search.stored);
+  check_int "no subsumption when disabled" 0 off.Class_search.subsumed
+
+let test_determinism () =
+  (* two runs over the same model are bit-identical: same schedule,
+     same metrics (the store's iteration order never leaks) *)
+  List.iter
+    (fun (name, spec) ->
+      let model = Translate.translate spec in
+      let o1, m1 = Class_search.find_schedule model in
+      let o2, m2 = Class_search.find_schedule model in
+      check_bool (name ^ " same outcome") true (o1 = o2);
+      check_int (name ^ " same stored") m1.Class_search.stored
+        m2.Class_search.stored;
+      check_int (name ^ " same backtracks") m1.Class_search.backtracks
+        m2.Class_search.backtracks)
+    (("relations", relations_spec) :: Case_studies.all)
+
+let test_subsume_off_matches_on () =
+  (* the escape hatch must not change any verdict *)
+  List.iter
+    (fun (name, spec) ->
+      let model = Translate.translate spec in
+      let on = fst (Class_search.find_schedule model) in
+      let off = fst (Class_search.find_schedule ~subsume:false model) in
+      check_bool (name ^ " verdict unchanged") true
+        (Result.is_ok on = Result.is_ok off))
+    (("relations", relations_spec) :: Case_studies.all)
+
+let test_cancel_is_prompt () =
+  (* a cancel that is already set must stop the search at the first
+     visited class, including down eager chains *)
+  let model = Translate.translate Case_studies.mine_pump in
+  match Class_search.find_schedule ~cancel:(fun () -> true) model with
+  | Error Class_search.Budget_exhausted, m ->
+    check_int "nothing stored" 0 m.Class_search.stored
+  | Error f, _ ->
+    Alcotest.failf "wrong failure: %s" (Class_search.failure_to_string f)
+  | Ok _, _ -> Alcotest.fail "cancelled search cannot succeed"
+
+let test_subsumption_applicability () =
+  (* the translation's priority discipline satisfies the static
+     soundness conditions on every case study *)
+  List.iter
+    (fun (name, spec) ->
+      let model = Translate.translate spec in
+      check_bool (name ^ " subsumption applicable") true
+        (Class_search.subsumption_applicable model))
+    (("relations", relations_spec) :: Case_studies.all)
+
+let prop_subsume_verdict_agreement =
+  qcheck ~count:30 "subsumption never changes the verdict" arbitrary_spec
+    (fun spec ->
+      let model = Translate.translate spec in
+      let on = fst (Class_search.find_schedule model) in
+      let off = fst (Class_search.find_schedule ~subsume:false model) in
+      Result.is_ok on = Result.is_ok off)
+
 let suite =
   [
     case "case studies via state classes" test_all_case_studies;
@@ -109,6 +199,12 @@ let suite =
     case "budget exhaustion" test_budget;
     case "feasibility agrees with the discrete engine"
       test_agrees_with_discrete_on_feasibility;
+    case "subsumption prunes the relations spec" test_subsumption_prunes;
+    case "deterministic metrics and schedules" test_determinism;
+    case "subsume off matches on" test_subsume_off_matches_on;
+    case "cancel stops at the first class" test_cancel_is_prompt;
+    case "subsumption statically applicable" test_subsumption_applicability;
     prop_class_schedules_certify;
     prop_discrete_implies_class;
+    prop_subsume_verdict_agreement;
   ]

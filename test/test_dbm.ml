@@ -91,6 +91,101 @@ let test_subset () =
   check_bool "reflexive" true (Dbm.subset (mk 4) (mk 4));
   check_bool "dimension mismatch" false (Dbm.subset (mk 3) (Dbm.create 2))
 
+(* Seed-driven random canonical matrix, plus the LCG for drawing more
+   values afterwards; the same recipe as prop_canonical_idempotent. *)
+let random_canonical dim seed =
+  let d = Dbm.create dim in
+  let rng = ref seed in
+  let next () =
+    rng := ((!rng * 1103515245) + 12345) land 0x3fffffff;
+    !rng
+  in
+  for _ = 1 to 6 do
+    let i = next () mod (dim + 1) and j = next () mod (dim + 1) in
+    if i <> j then Dbm.constrain d i j ((next () mod 15) - 3)
+  done;
+  Dbm.canonicalize d;
+  (d, next)
+
+let prop_tighten_bit_identical =
+  qcheck ~count:500 "tighten = constrain + canonicalize (bit-for-bit)"
+    QCheck.(pair (int_range 1 4) (int_range 0 1_000_000))
+    (fun (dim, seed) ->
+      let d, next = random_canonical dim seed in
+      if Dbm.is_empty d then true
+      else begin
+        (* a short chain, like State_class.fire applies *)
+        let inc = Dbm.copy d and full = Dbm.copy d in
+        for _ = 1 to 3 do
+          let i = next () mod (dim + 1) and j = next () mod (dim + 1) in
+          if i <> j then begin
+            let b = (next () mod 15) - 5 in
+            Dbm.tighten inc i j b;
+            Dbm.constrain full i j b
+          end
+        done;
+        Dbm.canonicalize full;
+        if Dbm.is_empty full then Dbm.is_empty inc else Dbm.equal inc full
+      end)
+
+let prop_subset_partial_order =
+  qcheck ~count:300 "subset reflexive + antisymmetric on canonical forms"
+    QCheck.(triple (int_range 1 3) (int_range 0 1_000_000)
+              (int_range 0 1_000_000))
+    (fun (dim, s1, s2) ->
+      let a, _ = random_canonical dim s1 in
+      let b, _ = random_canonical dim s2 in
+      if Dbm.is_empty a || Dbm.is_empty b then true
+      else
+        Dbm.subset a a
+        && ((not (Dbm.subset a b && Dbm.subset b a)) || Dbm.equal a b))
+
+let prop_add_fresh_preserves_bounds =
+  qcheck ~count:300 "add_fresh preserves bounds"
+    QCheck.(pair (int_range 1 3) (int_range 0 1_000_000))
+    (fun (dim, seed) ->
+      let d, next = random_canonical dim seed in
+      if Dbm.is_empty d then true
+      else begin
+        let lo = next () mod 5 in
+        let hi = lo + (next () mod 5) in
+        let d' = Dbm.add_fresh d [ (lo, hi) ] in
+        Dbm.canonicalize d';
+        (not (Dbm.is_empty d'))
+        && List.for_all
+             (fun v -> Dbm.bounds d' v = Dbm.bounds d v)
+             (List.init dim (fun i -> i + 1))
+        && Dbm.bounds d' (dim + 1) = (lo, hi)
+      end)
+
+(* The property State_class.fire's persistent-block pass relies on: a
+   projection with change of origin of a canonical matrix is already
+   canonical (re-closing it is a no-op), and pairwise differences
+   between kept variables are untouched. *)
+let prop_rebase_preserves_canonicality =
+  qcheck ~count:300 "rebase preserves canonicality and pairwise bounds"
+    QCheck.(pair (int_range 2 4) (int_range 0 1_000_000))
+    (fun (dim, seed) ->
+      let d, next = random_canonical dim seed in
+      if Dbm.is_empty d then true
+      else begin
+        let f = 1 + (next () mod dim) in
+        let keep =
+          List.filter (fun v -> v <> f) (List.init dim (fun i -> i + 1))
+        in
+        let r = Dbm.rebase d f ~keep in
+        let again = Dbm.copy r in
+        Dbm.canonicalize again;
+        Dbm.equal r again
+        && List.for_all
+             (fun (i', i) ->
+               List.for_all
+                 (fun (j', j) ->
+                   i = j || Dbm.get r (i' + 1) (j' + 1) = Dbm.get d i j)
+                 (List.mapi (fun j' j -> (j', j)) keep))
+             (List.mapi (fun i' i -> (i', i)) keep)
+      end)
+
 let prop_canonical_idempotent =
   qcheck ~count:100 "canonicalize is idempotent"
     QCheck.(pair (int_range 1 4) (int_range 0 1000))
@@ -125,4 +220,8 @@ let suite =
     case "rebase (change of origin)" test_rebase;
     case "add fresh variables" test_add_fresh;
     prop_canonical_idempotent;
+    prop_tighten_bit_identical;
+    prop_subset_partial_order;
+    prop_add_fresh_preserves_bounds;
+    prop_rebase_preserves_canonicality;
   ]
