@@ -1128,6 +1128,75 @@ let a17 () =
       ("relations", relations_spec);
     ]
 
+(* --- A18: analytic schedulability pre-pass ------------------------------ *)
+
+(* A demand-overloaded pair (quick-reject) and the paper's independent
+   preemptive set (quick-accept), each solved twice: pre-pass on versus
+   the raced portfolio baseline.  The harness asserts the pre-pass
+   actually decided at least one profile — otherwise the record would
+   silently measure two identical races. *)
+let a18 () =
+  section "A18" "Analytic pre-pass (quick-reject / quick-accept vs the race)";
+  let overload =
+    Spec.make ~name:"demand-overload"
+      ~tasks:
+        [
+          Task.make ~name:"a" ~wcet:5 ~deadline:5 ~period:10 ();
+          Task.make ~name:"b" ~wcet:5 ~deadline:6 ~period:10 ();
+        ]
+      ()
+  in
+  let decided = ref 0 in
+  List.iter
+    (fun (name, spec) ->
+      let model = Translate.translate spec in
+      let with_pre = Portfolio.find_schedule ~domains:1 model in
+      let baseline =
+        Portfolio.find_schedule ~domains:1 ~analysis:false model
+      in
+      let pre_decided =
+        match with_pre.Portfolio.prepass with
+        | Portfolio.Prepass_rejected _ | Portfolio.Prepass_accepted -> true
+        | Portfolio.Prepass_off | Portfolio.Prepass_unknown _
+        | Portfolio.Prepass_uncertified _ -> false
+      in
+      if pre_decided then incr decided;
+      if
+        Result.is_ok with_pre.Portfolio.outcome
+        <> Result.is_ok baseline.Portfolio.outcome
+      then
+        failwith
+          ("A18: pre-pass and raced portfolio disagree on " ^ name);
+      let pre_ms = with_pre.Portfolio.elapsed_s *. 1000. in
+      let base_ms = baseline.Portfolio.elapsed_s *. 1000. in
+      Format.printf
+        "%-16s %s — pre-pass %s in %.2f ms, raced portfolio %.2f ms \
+         (%.0fx)@."
+        name
+        (match with_pre.Portfolio.outcome with
+        | Ok _ -> "feasible"
+        | Error f -> Search.failure_to_string f)
+        (Portfolio.prepass_to_string with_pre.Portfolio.prepass)
+        pre_ms base_ms
+        (base_ms /. Float.max 1e-6 pre_ms);
+      add_json ("A18_analysis_" ^ name)
+        [
+          ("spec", jstr name);
+          ("prepass", jstr (Portfolio.prepass_to_string with_pre.Portfolio.prepass));
+          ("decided_without_search", jbool pre_decided);
+          ("feasible", jbool (Result.is_ok with_pre.Portfolio.outcome));
+          ("analysis_ms", jfloat pre_ms);
+          ("portfolio_ms", jfloat base_ms);
+          ("speedup", jfloat (base_ms /. Float.max 1e-6 pre_ms));
+        ])
+    [
+      ("demand-overload", overload);
+      ("edf-schedulable", Case_studies.fig8_preemptive);
+    ];
+  if !decided = 0 then
+    failwith "A18: the analytic pre-pass decided no profile";
+  Format.printf "pre-pass decided %d/2 profiles without any search@." !decided
+
 (* --- A15: differential fuzzing throughput ------------------------------ *)
 
 let a15 () =
@@ -1243,7 +1312,7 @@ let bechamel_suite () =
 
 (* The harness takes the same observability flags as ezrt: --trace FILE,
    --metrics FILE and --progress — plus --domains N (A16 worker count)
-   and --smoke (CI subset: E1, A14, A16, A17 only).  No cmdliner here — a
+   and --smoke (CI subset: E1, A14, A16, A17, A18).  No cmdliner here — a
    hand scan of argv keeps bench dependency-free. *)
 let obs_setup () =
   let argv = Sys.argv in
@@ -1287,7 +1356,8 @@ let () =
     e1 ();
     a14 ();
     a16 ();
-    a17 ()
+    a17 ();
+    a18 ()
   end
   else begin
     e1 ();
@@ -1315,6 +1385,7 @@ let () =
     a15 ();
     a16 ();
     a17 ();
+    a18 ();
     bechamel_suite ()
   end;
   write_json "BENCH_search.json";

@@ -218,6 +218,11 @@ let no_subsume_arg =
          ~doc:"Disable inclusion-based subsumption in the class engines \
                (exact visited-set pruning only).")
 
+let no_analysis_arg =
+  Arg.(value & flag & info [ "no-analysis" ]
+         ~doc:"Skip the analytic schedulability pre-pass in the portfolio \
+               engine and always race the search configurations.")
+
 let gantt_arg =
   Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
 
@@ -227,7 +232,7 @@ let vcd_arg =
 
 let schedule_cmd =
   let run () file case policy no_po latest max_states engine domains no_subsume
-      gantt vcd =
+      no_analysis gantt vcd =
     with_spec file case (fun spec ->
         let finish artifact =
           Format.printf "%a" report artifact;
@@ -332,7 +337,8 @@ let schedule_cmd =
         | `Portfolio -> (
           let model = Translate.translate spec in
           let race =
-            Portfolio.find_schedule ~max_stored:max_states ?domains model
+            Portfolio.find_schedule ~max_stored:max_states ?domains
+              ~analysis:(not no_analysis) model
           in
           match race.Portfolio.outcome with
           | Ok schedule -> (
@@ -345,15 +351,22 @@ let schedule_cmd =
               exit 1
             | Ok () ->
               let table = Table.of_segments segments in
-              Format.printf
-                "portfolio: %s won on %d domain(s) (%d config(s) started, %d \
-                 finished), %.1f ms@."
-                (match race.Portfolio.winner with
-                | Some cfg -> Portfolio.config_to_string cfg
-                | None -> "?")
-                race.Portfolio.domains_used race.Portfolio.configs_started
-                (List.length race.Portfolio.attempts)
-                (race.Portfolio.elapsed_s *. 1000.);
+              (match race.Portfolio.winner, race.Portfolio.prepass with
+              | None, Portfolio.Prepass_accepted ->
+                Format.printf
+                  "portfolio: analysis pre-pass decided (certified EDF \
+                   quick-accept, no search ran), %.1f ms@."
+                  (race.Portfolio.elapsed_s *. 1000.)
+              | winner, _ ->
+                Format.printf
+                  "portfolio: %s won on %d domain(s) (%d config(s) started, \
+                   %d finished), %.1f ms@."
+                  (match winner with
+                  | Some cfg -> Portfolio.config_to_string cfg
+                  | None -> "?")
+                  race.Portfolio.domains_used race.Portfolio.configs_started
+                  (List.length race.Portfolio.attempts)
+                  (race.Portfolio.elapsed_s *. 1000.));
               Format.printf "schedule table:@.%a" (Table.pp model) table;
               if gantt then Format.printf "@.%s" (Chart.render model segments);
               (match vcd with
@@ -362,14 +375,19 @@ let schedule_cmd =
                 Printf.printf "VCD written to %s\n" path
               | None -> ()))
           | Error f ->
-            prerr_endline ("ezrt: " ^ Search.failure_to_string f);
+            (match race.Portfolio.prepass with
+            | Portfolio.Prepass_rejected w ->
+              prerr_endline
+                ("ezrt: analysis pre-pass decided: infeasible — "
+                ^ Schedulability.witness_to_string w)
+            | _ -> prerr_endline ("ezrt: " ^ Search.failure_to_string f));
             exit 1))
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Synthesize a feasible pre-runtime schedule.")
     Term.(const run $ obs_term $ file_arg $ case_arg $ policy_arg $ no_po_arg
           $ latest_arg $ max_states_arg $ engine_arg $ domains_arg
-          $ no_subsume_arg $ gantt_arg $ vcd_arg)
+          $ no_subsume_arg $ no_analysis_arg $ gantt_arg $ vcd_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 
@@ -379,8 +397,55 @@ let analyze_cmd =
            ~doc:"Also run the WCET sensitivity analysis (one synthesis per \
                  binary-search probe).")
   in
-  let run () file case sensitivity =
+  let spec_only_arg =
+    Arg.(value & flag & info [ "spec-only" ]
+           ~doc:"Only run the analytic schedulability pre-pass (no search, \
+                 no synthesis).  Exit 0 when the verdict is feasible with a \
+                 certified schedule, 1 when infeasible with a witness, 2 \
+                 when unknown.")
+  in
+  (* the analytic verdict costs closed-form arithmetic plus at most one
+     certified EDF simulation — print it before any search-based
+     analysis, and under --spec-only print nothing else *)
+  let analytic_verdict spec =
+    match (Validate.check spec).Validate.errors with
+    | e :: _ ->
+      Format.printf "analytic verdict: unknown (spec does not validate: %s)@."
+        (Validate.error_to_string e);
+      2
+    | [] -> (
+      let model = Translate.translate spec in
+      match Schedulability.analyze model with
+      | Schedulability.Infeasible w ->
+        Format.printf "analytic verdict: infeasible@.witness [%s]: %s@."
+          (Schedulability.witness_kind w)
+          (Schedulability.witness_to_string w);
+        1
+      | Schedulability.Feasible actions -> (
+        let schedule = Schedule.of_actions actions in
+        match Validator.certify model schedule with
+        | Ok _ ->
+          Format.printf
+            "analytic verdict: feasible (certified EDF schedule, %d \
+             firings)@."
+            (Schedule.length schedule);
+          0
+        | Error failure ->
+          (* acceptance is never taken on faith: a certificate that
+             fails certification downgrades the verdict *)
+          Format.printf
+            "analytic verdict: unknown (quick-accept certificate failed \
+             certification: %s)@."
+            (Validator.certification_failure_to_string failure);
+          2)
+      | Schedulability.Unknown why ->
+        Format.printf "analytic verdict: unknown (%s)@." why;
+        2)
+  in
+  let run () file case sensitivity spec_only =
     with_spec file case (fun spec ->
+        let analytic_code = analytic_verdict spec in
+        if spec_only then exit analytic_code;
         match synthesize spec with
         | Error e ->
           prerr_endline ("ezrt: " ^ error_to_string e);
@@ -407,9 +472,10 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Quality, response-time and robustness analysis of the \
-             synthesized schedule.")
-    Term.(const run $ obs_term $ file_arg $ case_arg $ sensitivity_arg)
+       ~doc:"Analytic schedulability verdict, then quality, response-time \
+             and robustness analysis of the synthesized schedule.")
+    Term.(const run $ obs_term $ file_arg $ case_arg $ sensitivity_arg
+          $ spec_only_arg)
 
 (* --- model-check ----------------------------------------------------- *)
 
@@ -649,8 +715,10 @@ let fuzz_cmd =
   let engines_arg =
     Arg.(value & opt (some string) None & info [ "engines" ] ~docv:"NAMES"
            ~doc:"Comma-separated engine filter (reference, incremental, \
-                 latest-release, classes, portfolio, parallel); only these \
-                 engines run and cross-check — e.g. \
+                 latest-release, classes, portfolio, parallel, analysis); \
+                 only these engines run and cross-check — e.g. \
+                 $(b,--engines analysis,classes,reference) cross-checks the \
+                 analytic pre-pass against search engines, and \
                  $(b,--engines parallel,reference) bisects parallel-only \
                  divergences.")
   in

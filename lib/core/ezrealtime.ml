@@ -27,6 +27,9 @@ module Relations = Ezrt_blocks.Relations
 module Compose = Ezrt_blocks.Compose
 module Meaning = Ezrt_blocks.Meaning
 module Translate = Ezrt_blocks.Translate
+
+(* [Analysis] is taken by the TPN-level reachability module above *)
+module Schedulability = Ezrt_analysis.Schedulability
 module Priority = Ezrt_sched.Priority
 module Search = Ezrt_sched.Search
 module Schedule = Ezrt_sched.Schedule

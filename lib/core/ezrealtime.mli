@@ -44,6 +44,12 @@ module Relations = Ezrt_blocks.Relations
 module Compose = Ezrt_blocks.Compose
 module Meaning = Ezrt_blocks.Meaning
 module Translate = Ezrt_blocks.Translate
+
+module Schedulability = Ezrt_analysis.Schedulability
+(** Analytic schedulability verdicts — spec-level quick-reject with
+    machine-checkable witnesses and a certified EDF quick-accept
+    ([Analysis] above is the TPN reachability module). *)
+
 module Priority = Ezrt_sched.Priority
 module Search = Ezrt_sched.Search
 module Schedule = Ezrt_sched.Schedule

@@ -10,6 +10,7 @@ module Schedule = Ezrt_sched.Schedule
 module Validator = Ezrt_sched.Validator
 module Sim = Ezrt_baseline.Sim
 module Rta = Ezrt_baseline.Rta
+module Schedulability = Ezrt_analysis.Schedulability
 
 type verdict =
   | Feasible of Schedule.t
@@ -43,6 +44,7 @@ type divergence =
   | Rta_beats_synthesis
   | Overutilized_feasible of float
   | Engine_crash of { engine : string; exn : string }
+  | Analysis_witness_invalid of string
 
 let divergence_to_string = function
   | Invalid_input msg -> Printf.sprintf "spec does not validate: %s" msg
@@ -68,6 +70,10 @@ let divergence_to_string = function
     Printf.sprintf "feasible verdict at utilization %.3f > 1" u
   | Engine_crash { engine; exn } ->
     Printf.sprintf "%s raised %s" engine exn
+  | Analysis_witness_invalid w ->
+    Printf.sprintf
+      "analysis emitted a quick-reject witness that does not re-evaluate \
+       to true: %s" w
 
 type report = {
   results : engine_result list;
@@ -83,7 +89,7 @@ let feasible = function Feasible _ -> true | Infeasible | Unknown _ -> false
 
 let builtin_engines =
   [ "reference"; "incremental"; "latest-release"; "classes"; "portfolio";
-    "parallel" ]
+    "parallel"; "analysis" ]
 
 let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
     spec =
@@ -162,9 +168,13 @@ let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
               Unknown "extraction failed")
       in
       let portfolio =
+        (* analysis off: keep this row a pure race result so the
+           analysis row below is checked against real searches, not
+           against itself through the pre-pass *)
         run "portfolio" (fun () ->
             match
-              (Portfolio.find_schedule ~max_stored ~domains:1 model)
+              (Portfolio.find_schedule ~max_stored ~domains:1 ~analysis:false
+                 model)
                 .Portfolio.outcome
             with
             | Ok s -> Feasible s
@@ -181,6 +191,23 @@ let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
             in
             of_search r.Par_search.outcome)
       in
+      let analysis =
+        run "analysis" (fun () ->
+            match Schedulability.analyze model with
+            | Schedulability.Infeasible w ->
+              (* acceptance is never taken on faith and neither is
+                 rejection: the witness must re-evaluate to true
+                 against the spec, independently of the analyzer *)
+              if Schedulability.witness_holds spec w then Infeasible
+              else begin
+                flag
+                  (Analysis_witness_invalid (Schedulability.witness_to_string w));
+                Unknown "invalid quick-reject witness"
+              end
+            | Schedulability.Feasible actions ->
+              Feasible (Schedule.of_actions actions)
+            | Schedulability.Unknown why -> Unknown why)
+      in
       let extra_results =
         List.map
           (fun (name, run) -> (name, guard name (fun () -> run ~max_stored model)))
@@ -196,6 +223,7 @@ let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
             ("classes", classes);
             ("portfolio", portfolio);
             ("parallel", parallel);
+            ("analysis", analysis);
           ]
         @ extra_results
       in
@@ -314,6 +342,36 @@ let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
         | Ok report when report.Rta.all_schedulable -> flag Rta_beats_synthesis
         | Ok _ | Error _ -> ()
       end;
+      (* (f) the analytic pre-pass against every search engine.  Its
+         quick-reject conditions are necessary, so an analysis
+         [Infeasible] contradicts any engine's feasible schedule; its
+         quick-accept certificate is built from discrete [dlb] firings,
+         so it lies inside every engine's branch space and contradicts
+         any engine's exhaustive [Infeasible].  [Unknown] is the only
+         analysis verdict allowed to disagree.  (The analysis row's
+         feasible schedules are certified by (a) like everyone else's.) *)
+      (match analysis with
+      | Some Infeasible ->
+        List.iter
+          (fun (name, v) ->
+            match v with
+            | Feasible _ when name <> "analysis" ->
+              mismatch "analysis" Infeasible name v
+                "quick-reject is a necessary condition: no engine may \
+                 schedule past a true witness"
+            | _ -> ())
+          results
+      | Some (Feasible _ as a) ->
+        List.iter
+          (fun (name, v) ->
+            match v with
+            | Infeasible when name <> "analysis" ->
+              mismatch "analysis" a name v
+                "a certified analytic schedule lies in every engine's \
+                 branch space"
+            | _ -> ())
+          results
+      | Some (Unknown _) | None -> ());
       {
         results = List.map (fun (engine, verdict) -> { engine; verdict }) results;
         divergences = List.rev !divergences;

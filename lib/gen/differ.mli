@@ -62,6 +62,9 @@ type divergence =
   | Rta_beats_synthesis
   | Overutilized_feasible of float
   | Engine_crash of { engine : string; exn : string }
+  | Analysis_witness_invalid of string
+      (** the analytic pre-pass emitted a quick-reject witness whose
+          inequality does not re-evaluate to true against the spec *)
 
 val divergence_to_string : divergence -> string
 
@@ -72,7 +75,14 @@ type report = {
 
 val builtin_engines : string list
 (** [["reference"; "incremental"; "latest-release"; "classes";
-    "portfolio"; "parallel"]] — the names accepted by [?engines]. *)
+    "portfolio"; "parallel"; "analysis"]] — the names accepted by
+    [?engines].  [analysis] is {!Ezrt_analysis.Schedulability}: its
+    quick-reject witnesses are re-evaluated (an untrue witness is an
+    {!Analysis_witness_invalid} divergence), its [Infeasible] verdict
+    contradicts any engine's feasible schedule, and its quick-accept
+    certificate — certified like every other feasible schedule —
+    contradicts any engine's [Infeasible].  The [portfolio] row runs
+    with [~analysis:false] so it stays an independent race result. *)
 
 val check :
   ?max_stored:int ->

@@ -46,6 +46,22 @@ type attempt = {
   cancelled : bool;
 }
 
+type prepass =
+  | Prepass_off
+  | Prepass_unknown of string
+  | Prepass_rejected of Ezrt_analysis.Schedulability.witness
+  | Prepass_accepted
+  | Prepass_uncertified of string
+
+let prepass_to_string = function
+  | Prepass_off -> "off"
+  | Prepass_unknown why -> Printf.sprintf "unknown (%s)" why
+  | Prepass_rejected w ->
+    Printf.sprintf "rejected (%s)"
+      (Ezrt_analysis.Schedulability.witness_to_string w)
+  | Prepass_accepted -> "accepted (EDF certificate certified)"
+  | Prepass_uncertified why -> Printf.sprintf "uncertified (%s)" why
+
 type t = {
   outcome : (Schedule.t, Search.failure) result;
   winner : config option;
@@ -53,6 +69,7 @@ type t = {
   configs_started : int;
   domains_used : int;
   elapsed_s : float;
+  prepass : prepass;
 }
 
 (* Inserted-idle branching only widens the choice space when some
@@ -172,8 +189,62 @@ let obs_flush ~winner attempts =
           a.metrics.Search.stored)
     attempts
 
-let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
+let count_prepass outcome =
+  Ezrt_obs.Metrics.incr
+    (Ezrt_obs.Metrics.counter
+       ~help:"Portfolio analytic pre-pass outcomes"
+       ~labels:[ ("outcome", outcome) ]
+       "ezrt_analysis_prepass_total")
+
+(* The analytic pre-pass: a witnessed quick-reject skips the race with
+   an [Infeasible] verdict, a certified EDF quick-accept skips it with
+   the certificate as the schedule.  Acceptance is gated on
+   [Validator.certify] — an uncertified analytic schedule falls
+   through to the race instead of being trusted. *)
+let run_prepass model =
+  let module A = Ezrt_analysis.Schedulability in
+  match A.analyze model with
+  | A.Infeasible w ->
+    count_prepass "reject";
+    (Prepass_rejected w, Some (Error Search.Infeasible))
+  | A.Feasible actions -> (
+    let schedule = Schedule.of_actions actions in
+    match Validator.certify model schedule with
+    | Ok _ ->
+      count_prepass "accept";
+      (Prepass_accepted, Some (Ok schedule))
+    | Error f ->
+      count_prepass "uncertified";
+      ( Prepass_uncertified (Validator.certification_failure_to_string f),
+        None ))
+  | A.Unknown why ->
+    count_prepass "unknown";
+    (Prepass_unknown why, None)
+
+let find_schedule ?configs ?(max_stored = 500_000) ?domains ?(analysis = true)
+    model =
   let started_at = Unix.gettimeofday () in
+  let prepass, decided =
+    if analysis then run_prepass model
+    else begin
+      count_prepass "off";
+      (Prepass_off, None)
+    end
+  in
+  match decided with
+  | Some outcome ->
+    Ezrt_obs.Trace.instant ~cat:"portfolio" "prepass-decided"
+      ~args:[ ("outcome", Ezrt_obs.Trace.Str (prepass_to_string prepass)) ];
+    {
+      outcome;
+      winner = None;
+      attempts = [];
+      configs_started = 0;
+      domains_used = 0;
+      elapsed_s = Unix.gettimeofday () -. started_at;
+      prepass;
+    }
+  | None ->
   let configs =
     match configs with Some cs -> cs | None -> default_configs model
   in
@@ -298,4 +369,5 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains model =
     configs_started = Atomic.get started;
     domains_used = Array.fold_left (fun n w -> if w then n + 1 else n) 0 worked;
     elapsed_s = Unix.gettimeofday () -. started_at;
+    prepass;
   }

@@ -39,10 +39,30 @@ type attempt = {
           race stopping it, not a real budget exhaustion *)
 }
 
+(** Verdict of the analytic pre-pass ({!Ezrt_analysis.Schedulability})
+    that runs before the race unless disabled. *)
+type prepass =
+  | Prepass_off  (** [~analysis:false] *)
+  | Prepass_unknown of string  (** analysis decided nothing; raced *)
+  | Prepass_rejected of Ezrt_analysis.Schedulability.witness
+      (** witnessed quick-reject: the outcome is [Error Infeasible]
+          without any configuration running *)
+  | Prepass_accepted
+      (** EDF quick-accept whose certificate passed
+          {!Validator.certify}: the outcome is that schedule, no
+          configuration ran, [winner = None] *)
+  | Prepass_uncertified of string
+      (** the analyzer claimed feasible but certification failed — the
+          claim was discarded and the race ran normally (the
+          differential fuzzer treats this as a divergence) *)
+
+val prepass_to_string : prepass -> string
+
 type t = {
   outcome : (Schedule.t, Search.failure) result;
-      (** the winner's schedule; [Infeasible] only when every
-          configuration ran to exhaustion *)
+      (** the winner's schedule; [Infeasible] only when the analytic
+          pre-pass proved it (with a witness) or every configuration
+          ran to exhaustion *)
   winner : config option;
   attempts : attempt list;
       (** configurations that reached a verdict before the race was
@@ -54,6 +74,7 @@ type t = {
       (** worker domains that ran at least one member, as opposed to
           the requested worker count *)
   elapsed_s : float;
+  prepass : prepass;
 }
 
 val has_release_window : Ezrt_blocks.Translate.t -> bool
@@ -71,6 +92,7 @@ val find_schedule :
   ?configs:config list ->
   ?max_stored:int ->
   ?domains:int ->
+  ?analysis:bool ->
   Ezrt_blocks.Translate.t ->
   t
 (** [max_stored] bounds each configuration separately (default
@@ -78,6 +100,11 @@ val find_schedule :
     config, at most [Domain.recommended_domain_count () - 1]); with
     [~domains:1] the configs run sequentially on the calling domain in
     order, which is deterministic.
+
+    [analysis] (default [true]) runs the analytic pre-pass first: a
+    witnessed quick-reject or a certified EDF quick-accept
+    short-circuits the race entirely (see {!prepass});
+    [~analysis:false] — the CLI's [--no-analysis] — always races.
 
     Observability: every race opens a [portfolio] span and one
     [portfolio-member] span per started config (on the member's own

@@ -30,8 +30,21 @@ let find_task_by_name spec name =
 
 let task_ids spec = List.map (fun (t : Task.t) -> t.Task.id) spec.tasks
 
+(* Saturating arithmetic on non-negative operands: adversarial period
+   sets (large coprime periods) make the hyper-period and the derived
+   instance counts exceed [max_int], and a silently wrapped negative
+   horizon would poison every downstream consumer.  Saturating to
+   [max_int] keeps all comparisons honest and is detectable
+   ([hyperperiod spec = max_int]). *)
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
-let lcm a b = a / gcd a b * b
+
+let lcm a b =
+  if a = max_int || b = max_int then max_int else sat_mul (a / gcd a b) b
 
 let hyperperiod spec =
   match spec.tasks with
@@ -53,7 +66,7 @@ let instance_counts spec =
     spec.tasks
 
 let total_instances spec =
-  List.fold_left (fun acc (_, n) -> acc + n) 0 (instance_counts spec)
+  List.fold_left (fun acc (_, n) -> sat_add acc n) 0 (instance_counts spec)
 
 let utilization spec =
   List.fold_left

@@ -40,16 +40,27 @@ val find_task : t -> string -> Task.t option
 val find_task_by_name : t -> string -> Task.t option
 val task_ids : t -> string list
 
+val sat_add : int -> int -> int
+(** Saturating addition on non-negative operands: [max_int] instead of
+    wrapping.  Shared by the workload arithmetic ({!hyperperiod},
+    {!Stats}) and the analytic pre-pass ([Ezrt_analysis]). *)
+
+val sat_mul : int -> int -> int
+(** Saturating multiplication on non-negative operands. *)
+
 val hyperperiod : t -> int
 (** LCM of the task periods — the schedule period [PS] (paper §3.3).
-    Raises [Invalid_argument] on an empty task list or a non-positive
+    Saturates to [max_int] on adversarial period sets instead of
+    wrapping (check [hyperperiod spec = max_int] to detect).  Raises
+    [Invalid_argument] on an empty task list or a non-positive
     period. *)
 
 val instance_counts : t -> (string * int) list
 (** [(task id, N(ti))] over the hyperperiod. *)
 
 val total_instances : t -> int
-(** The paper's "tasks' instances" count (782 for the mine pump). *)
+(** The paper's "tasks' instances" count (782 for the mine pump);
+    saturating, like {!hyperperiod}. *)
 
 val utilization : t -> float
 (** Processor utilization [sum ci / pi]; a value above 1.0 is

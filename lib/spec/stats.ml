@@ -62,9 +62,12 @@ let compute spec =
     hyperperiod = horizon;
     total_instances = Spec.total_instances spec;
     busy_time =
+      (* instance counts on a saturated horizon are astronomical:
+         saturate rather than wrap into a negative busy time *)
       List.fold_left
         (fun acc (t : Task.t) ->
-          acc + (Task.instances_in t horizon * t.Task.wcet))
+          Spec.sat_add acc
+            (Spec.sat_mul (Task.instances_in t horizon) t.Task.wcet))
         0 spec.Spec.tasks;
     harmonic;
     period_classes;

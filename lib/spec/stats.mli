@@ -20,7 +20,10 @@ type t = {
           preemptive tasks; > 1 decides nothing *)
   hyperperiod : int;
   total_instances : int;
-  busy_time : int;  (** sum of instances x wcet *)
+  busy_time : int;
+      (** sum of instances x wcet; saturates at [max_int] (with
+          {!Spec.sat_add}/{!Spec.sat_mul}) instead of wrapping on
+          adversarial period sets *)
   harmonic : bool;
       (** every period pair divides one another — the case where the
           Liu-Layland bound reaches 1.0 *)

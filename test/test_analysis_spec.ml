@@ -1,0 +1,213 @@
+(* Tests for the spec-level schedulability analyzer (lib/analysis):
+   the demand bound is monotone in the window, every quick-reject
+   witness re-evaluates to true, every quick-accept certificate passes
+   the independent validator, Unknown is the only verdict allowed to
+   disagree with a search engine, and a golden file pins the verdict
+   of every corpus and example spec.  Regenerate the golden file with:
+
+     EZRT_UPDATE_GOLDEN=1 dune test --force *)
+
+module Spec = Ezrt_spec.Spec
+module Task = Ezrt_spec.Task
+module Validate = Ezrt_spec.Validate
+module Stats = Ezrt_spec.Stats
+module Dsl = Ezrt_spec.Dsl
+module Translate = Ezrt_blocks.Translate
+module Search = Ezrt_sched.Search
+module Schedule = Ezrt_sched.Schedule
+module Validator = Ezrt_sched.Validator
+module A = Ezrt_analysis.Schedulability
+open Test_util
+
+let valid spec = (Validate.check spec).Validate.errors = []
+
+(* --- demand-bound properties ----------------------------------------- *)
+
+(* a spec plus nested windows [t1, t2] within [u1, u2] within [0, H] *)
+let spec_and_windows =
+  let gen =
+    QCheck.Gen.(
+      let* spec = spec_gen in
+      let h = Spec.hyperperiod spec in
+      let* u1 = int_range 0 h in
+      let* u2 = int_range u1 h in
+      let* t1 = int_range u1 u2 in
+      let* t2 = int_range t1 u2 in
+      return (spec, (u1, u2), (t1, t2)))
+  in
+  QCheck.make
+    ~print:(fun (s, (u1, u2), (t1, t2)) ->
+      Format.asprintf "[%d,%d] in [%d,%d] of %a" t1 t2 u1 u2 Spec.pp s)
+    gen
+
+let test_demand_monotone =
+  qcheck "demand is monotone in the window" spec_and_windows
+    (fun (spec, (u1, u2), (t1, t2)) ->
+      A.demand spec ~t1 ~t2 <= A.demand spec ~t1:u1 ~t2:u2)
+
+let test_demand_nonneg =
+  qcheck "demand is non-negative and bounded by total work"
+    spec_and_windows
+    (fun (spec, (u1, u2), _) ->
+      let d = A.demand spec ~t1:u1 ~t2:u2 in
+      0 <= d && d <= (Stats.compute spec).Stats.busy_time)
+
+(* --- soundness properties -------------------------------------------- *)
+
+let test_witnesses_hold =
+  qcheck "quick-reject witnesses re-evaluate to true" arbitrary_spec
+    (fun spec ->
+      QCheck.assume (valid spec);
+      match A.quick_reject spec with
+      | Some w -> A.witness_holds spec w
+      | None -> true)
+
+let test_certificates_certify =
+  qcheck ~count:100 "quick-accept certificates pass the validator"
+    arbitrary_spec
+    (fun spec ->
+      QCheck.assume (valid spec);
+      let model = Translate.translate spec in
+      match A.analyze model with
+      | A.Feasible actions -> (
+        match Validator.certify model (Schedule.of_actions actions) with
+        | Ok _ -> true
+        | Error f ->
+          QCheck.Test.fail_reportf "certificate rejected: %s"
+            (Validator.certification_failure_to_string f))
+      | A.Infeasible _ | A.Unknown _ -> true)
+
+let test_only_unknown_disagrees =
+  qcheck ~count:60 "Unknown is the only verdict allowed to disagree"
+    arbitrary_spec
+    (fun spec ->
+      QCheck.assume (valid spec);
+      let model = Translate.translate spec in
+      let verdict = A.analyze model in
+      let search, _ =
+        Search.find_schedule
+          ~options:{ Search.default_options with max_stored = 30_000 }
+          model
+      in
+      match verdict, search with
+      | A.Infeasible w, Ok _ ->
+        QCheck.Test.fail_reportf
+          "analysis rejected a searchable spec: %s" (A.witness_to_string w)
+      | A.Feasible _, Error Search.Infeasible ->
+        QCheck.Test.fail_reportf
+          "analysis accepted a spec the search proved infeasible"
+      | _ -> true)
+
+(* --- saturation pin (satellite: overflow never wraps) ----------------- *)
+
+let test_saturated_hyperperiod () =
+  (* two coprime Mersenne primes: the true lcm is ~5e27, far past
+     max_int, so every derived quantity must saturate, not wrap *)
+  let spec =
+    Spec.make ~name:"huge"
+      ~tasks:
+        [
+          Task.make ~name:"a" ~wcet:1 ~deadline:10 ~period:2147483647 ();
+          Task.make ~name:"b" ~wcet:1 ~deadline:10 ~period:2305843009213693951
+            ();
+        ]
+      ()
+  in
+  check_int "hyperperiod saturates at max_int" max_int (Spec.hyperperiod spec);
+  let stats = Stats.compute spec in
+  check_bool "busy time is non-negative" true (stats.Stats.busy_time >= 0);
+  check_bool "total instances is non-negative" true
+    (stats.Stats.total_instances >= 0);
+  (* with a saturated hyper-period the window analyses are skipped and
+     only per-instance laxity runs: no crash, no wrapped witness *)
+  (match A.quick_reject spec with
+  | Some w -> check_bool "witness still holds" true (A.witness_holds spec w)
+  | None -> ());
+  check_bool "saturated spec is outside the accept fragment" false
+    (A.accept_applicable spec);
+  check_int "sat_add pins at max_int" max_int (Spec.sat_add max_int 1);
+  check_int "sat_add is exact below the ceiling" 7 (Spec.sat_add 3 4);
+  check_int "sat_mul pins at max_int" max_int (Spec.sat_mul ((max_int / 2) + 1) 2);
+  check_int "sat_mul by zero" 0 (Spec.sat_mul max_int 0)
+
+(* a laxity witness on the saturated spec: deadline too tight for the
+   WCET, caught without ever touching the hyper-period *)
+let test_saturated_laxity_witness () =
+  let spec =
+    Spec.make ~name:"huge-tight"
+      ~tasks:
+        [
+          Task.make ~name:"a" ~wcet:9 ~deadline:10 ~period:2147483647 ();
+          Task.make ~name:"b" ~release:3 ~wcet:8 ~deadline:10
+            ~period:2305843009213693951 ();
+        ]
+      ()
+  in
+  check_int "hyperperiod saturates" max_int (Spec.hyperperiod spec);
+  match A.quick_reject spec with
+  | Some (A.Negative_laxity _ as w) ->
+    check_bool "laxity witness holds" true (A.witness_holds spec w)
+  | Some w -> Alcotest.failf "expected a laxity witness, got %s"
+                (A.witness_to_string w)
+  | None -> Alcotest.fail "r + c > d must quick-reject"
+
+(* --- golden verdicts over the corpus and example specs ---------------- *)
+
+let golden_path = Filename.concat "golden" "analysis-verdicts.txt"
+let update_golden = Sys.getenv_opt "EZRT_UPDATE_GOLDEN" <> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let verdict_line file =
+  let name = Filename.basename file in
+  match Dsl.load_file file with
+  | Error e -> Printf.sprintf "%s: unreadable (%s)" name (Dsl.error_to_string e)
+  | Ok spec -> (
+    match (Validate.check spec).Validate.errors with
+    | e :: _ ->
+      Printf.sprintf "%s: invalid (%s)" name (Validate.error_to_string e)
+    | [] -> (
+      match A.analyze (Translate.translate spec) with
+      | A.Infeasible w ->
+        Printf.sprintf "%s: infeasible [%s] %s" name (A.witness_kind w)
+          (A.witness_to_string w)
+      | A.Feasible actions ->
+        Printf.sprintf "%s: feasible (%d firings)" name (List.length actions)
+      | A.Unknown why -> Printf.sprintf "%s: unknown (%s)" name why))
+
+let test_golden_verdicts () =
+  let xml_files dir =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".xml")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  in
+  let files = xml_files "corpus" @ xml_files "../specs" in
+  let actual =
+    String.concat "" (List.map (fun f -> verdict_line f ^ "\n") files)
+  in
+  if update_golden then write_file golden_path actual
+  else
+    check_string "analysis verdicts match the golden file"
+      (read_file golden_path) actual
+
+let suite =
+  [
+    test_demand_monotone;
+    test_demand_nonneg;
+    test_witnesses_hold;
+    test_certificates_certify;
+    test_only_unknown_disagrees;
+    case "saturated hyper-period never wraps" test_saturated_hyperperiod;
+    case "laxity witness survives saturation" test_saturated_laxity_witness;
+    case "golden verdicts" test_golden_verdicts;
+  ]

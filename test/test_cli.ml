@@ -126,7 +126,51 @@ let test_gantt_flag () =
 
 let test_analyze () =
   expect [ "analyze"; "--case"; "fig8" ] ~code:0
-    ~needles:[ "schedule quality"; "preemptions"; "dispatch overhead" ]
+    ~needles:
+      [ "analytic verdict"; "schedule quality"; "preemptions";
+        "dispatch overhead" ]
+
+let test_analyze_spec_only () =
+  (* fig8: independent preemptive, inside the accept fragment *)
+  expect [ "analyze"; "--case"; "fig8"; "--spec-only" ] ~code:0
+    ~needles:[ "analytic verdict: feasible"; "certified EDF schedule" ];
+  (* mine-pump has relations: outside the analytic fragment *)
+  expect [ "analyze"; "--case"; "mine-pump"; "--spec-only" ] ~code:2
+    ~needles:[ "analytic verdict: unknown"; "analytic fragment" ]
+
+let test_analyze_spec_only_rejects () =
+  match Lazy.force binary with
+  | None -> ()
+  | Some _ ->
+    (* two five-unit jobs both due within six units: the demand bound
+       rejects with a witness, no search runs *)
+    let path = Filename.temp_file "ezrt_cli" ".xml" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let spec =
+          Ezrt_spec.Spec.make ~name:"tight"
+            ~tasks:
+              [
+                Ezrt_spec.Task.make ~name:"a" ~wcet:5 ~deadline:5 ~period:10 ();
+                Ezrt_spec.Task.make ~name:"b" ~wcet:5 ~deadline:6 ~period:10 ();
+              ]
+            ()
+        in
+        Ezrt_spec.Dsl.save_file path spec;
+        expect [ "analyze"; path; "--spec-only" ] ~code:1
+          ~needles:
+            [ "analytic verdict: infeasible"; "witness [demand-overload]";
+              "demand 10 > capacity" ])
+
+let test_portfolio_prepass () =
+  expect [ "schedule"; "--case"; "fig8"; "--engine"; "portfolio" ] ~code:0
+    ~needles:[ "analysis pre-pass decided"; "schedule table" ];
+  (* the escape hatch must race and name a winning config *)
+  expect
+    [ "schedule"; "--case"; "fig8"; "--engine"; "portfolio"; "--no-analysis" ]
+    ~code:0
+    ~needles:[ "won on"; "schedule table" ]
 
 let test_analyze_sensitivity () =
   expect [ "analyze"; "--case"; "quickstart"; "--sensitivity" ] ~code:0
@@ -224,6 +268,10 @@ let suite =
     case "class engine" test_class_engine;
     case "gantt flag" test_gantt_flag;
     case "analyze" test_analyze;
+    case "analyze --spec-only verdicts and exit codes" test_analyze_spec_only;
+    case "analyze --spec-only prints a reject witness"
+      test_analyze_spec_only_rejects;
+    case "portfolio prepass and --no-analysis" test_portfolio_prepass;
     case "analyze with sensitivity" test_analyze_sensitivity;
     case "vcd output" test_vcd_output;
     case "simulate with fault injection" test_simulate_fault;

@@ -82,16 +82,65 @@ let unschedulable_pair =
 
 let test_infeasible_unanimous () =
   let model = Translate.translate unschedulable_pair in
-  let result = Portfolio.find_schedule model in
+  (* analysis off: this test is about the race's unanimity requirement,
+     and the pre-pass would demand-reject this spec before any config
+     starts (covered by the prepass tests below) *)
+  let result = Portfolio.find_schedule ~analysis:false model in
   (match result.Portfolio.outcome with
   | Error Search.Infeasible -> ()
   | Error Search.Budget_exhausted -> Alcotest.fail "expected a full verdict"
   | Ok _ -> Alcotest.fail "unschedulable pair got a schedule");
   check_bool "no winner" true (result.Portfolio.winner = None);
+  check_bool "prepass off" true (result.Portfolio.prepass = Portfolio.Prepass_off);
   (* infeasibility is a proof: every config must have voted *)
   check_int "all configs finished"
     (List.length (Portfolio.default_configs model))
     (List.length result.Portfolio.attempts)
+
+(* the same spec with the pre-pass on: the demand-bound witness decides
+   the race before any configuration starts *)
+let test_prepass_rejects () =
+  let model = Translate.translate unschedulable_pair in
+  let result = Portfolio.find_schedule model in
+  (match result.Portfolio.outcome with
+  | Error Search.Infeasible -> ()
+  | Error Search.Budget_exhausted | Ok _ ->
+    Alcotest.fail "prepass should prove infeasibility");
+  (match result.Portfolio.prepass with
+  | Portfolio.Prepass_rejected w ->
+    check_bool "witness re-evaluates to true" true
+      (Ezrt_analysis.Schedulability.witness_holds unschedulable_pair w)
+  | p -> Alcotest.failf "expected a rejection, got %s"
+           (Portfolio.prepass_to_string p));
+  check_int "no config started" 0 result.Portfolio.configs_started;
+  check_bool "no attempts" true (result.Portfolio.attempts = [])
+
+(* an independent preemptive set inside the analytic fragment: the EDF
+   quick-accept decides with a certified schedule and no search *)
+let test_prepass_accepts () =
+  let spec = List.assoc "fig8" Case_studies.all in
+  let model = Translate.translate spec in
+  let result = Portfolio.find_schedule model in
+  check_bool "accepted" true
+    (result.Portfolio.prepass = Portfolio.Prepass_accepted);
+  check_bool "no winner config" true (result.Portfolio.winner = None);
+  check_int "no config started" 0 result.Portfolio.configs_started;
+  match result.Portfolio.outcome with
+  | Ok schedule -> certify "prepass fig8" model schedule
+  | Error f -> Alcotest.failf "fig8 prepass: %s" (Search.failure_to_string f)
+
+(* --no-analysis: the same spec must race and still find a schedule *)
+let test_no_analysis_races () =
+  let spec = List.assoc "fig8" Case_studies.all in
+  let model = Translate.translate spec in
+  let result = Portfolio.find_schedule ~analysis:false ~domains:1 model in
+  check_bool "prepass off" true
+    (result.Portfolio.prepass = Portfolio.Prepass_off);
+  match result.Portfolio.outcome with
+  | Ok schedule ->
+    certify "no-analysis fig8" model schedule;
+    check_bool "race names a winner" true (result.Portfolio.winner <> None)
+  | Error f -> Alcotest.failf "fig8 race: %s" (Search.failure_to_string f)
 
 let test_custom_configs () =
   let model = Translate.translate Case_studies.quickstart in
@@ -123,5 +172,8 @@ let suite =
     case "greedy-trap certifies" test_greedy_trap;
     case "sequential mode is deterministic" test_sequential_deterministic;
     case "infeasible needs a unanimous verdict" test_infeasible_unanimous;
+    case "prepass quick-reject decides without a race" test_prepass_rejects;
+    case "prepass quick-accept certifies without a race" test_prepass_accepts;
+    case "no-analysis escape hatch races" test_no_analysis_races;
     case "custom single-config portfolio" test_custom_configs;
   ]
