@@ -1197,6 +1197,71 @@ let a18 () =
     failwith "A18: the analytic pre-pass decided no profile";
   Format.printf "pre-pass decided %d/2 profiles without any search@." !decided
 
+(* --- A19: synthesis service result cache -------------------------------- *)
+
+(* The same corpus solved twice through the service path: a cold run
+   populating the on-disk content-addressed cache, then a warm run with
+   a fresh cache instance over the same directory, so every hit travels
+   decode -> replay -> certify.  The verdict lines must be
+   byte-identical; the warm run's win is re-validation cost versus
+   search cost.  Renamed copies of the case studies are distinct cold
+   entries because the specification name participates in the digest. *)
+let a19 () =
+  section "A19" "Service result cache (cold corpus vs warm re-validated hits)";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ezrt-bench-a19-%d" (Unix.getpid ()))
+  in
+  let copies n spec =
+    List.init n (fun i ->
+        { spec with Spec.name = Printf.sprintf "%s#%d" spec.Spec.name i })
+  in
+  let corpus =
+    copies 4 Case_studies.mine_pump
+    @ copies 4 Case_studies.greedy_trap
+    @ List.init 4 (fun i -> Spec_gen.spec_at ~profile:Spec_gen.smoke ~seed:11 i)
+  in
+  let run cache =
+    let t0 = Unix.gettimeofday () in
+    let lines =
+      List.map
+        (fun spec ->
+          match Server.solve ~cache spec with
+          | Ok o -> Server.verdict_line o
+          | Error msg -> failwith ("A19: solve failed: " ^ msg))
+        corpus
+    in
+    (lines, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let cold_lines, cold_ms = run (Result_cache.create ~dir ()) in
+  let warm_cache = Result_cache.create ~dir () in
+  let warm_lines, warm_ms = run warm_cache in
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  if cold_lines <> warm_lines then
+    failwith "A19: warm verdicts diverge from the cold run";
+  let k = Result_cache.counters warm_cache in
+  if k.Result_cache.hits = 0 then failwith "A19: warm run never hit the cache";
+  let speedup = cold_ms /. Float.max 1e-6 warm_ms in
+  Format.printf
+    "corpus of %d specs: cold %.1f ms, warm %.1f ms (%.1fx; %d hit(s), %d \
+     miss(es), %d invalid)@."
+    (List.length corpus) cold_ms warm_ms speedup k.Result_cache.hits
+    k.Result_cache.misses k.Result_cache.invalid;
+  add_json "A19_service_cache"
+    [
+      ("corpus_specs", jint (List.length corpus));
+      ("cold_ms", jfloat cold_ms);
+      ("warm_ms", jfloat warm_ms);
+      ("warm_speedup", jfloat speedup);
+      ("warm_hits", jint k.Result_cache.hits);
+      ("warm_misses", jint k.Result_cache.misses);
+      ("verdicts_identical", jbool true);
+    ]
+
 (* --- A15: differential fuzzing throughput ------------------------------ *)
 
 let a15 () =
@@ -1312,7 +1377,7 @@ let bechamel_suite () =
 
 (* The harness takes the same observability flags as ezrt: --trace FILE,
    --metrics FILE and --progress — plus --domains N (A16 worker count)
-   and --smoke (CI subset: E1, A14, A16, A17, A18).  No cmdliner here — a
+   and --smoke (CI subset: E1, A14, A16, A17, A18, A19).  No cmdliner here — a
    hand scan of argv keeps bench dependency-free. *)
 let obs_setup () =
   let argv = Sys.argv in
@@ -1357,7 +1422,8 @@ let () =
     a14 ();
     a16 ();
     a17 ();
-    a18 ()
+    a18 ();
+    a19 ()
   end
   else begin
     e1 ();
@@ -1386,6 +1452,7 @@ let () =
     a16 ();
     a17 ();
     a18 ();
+    a19 ();
     bechamel_suite ()
   end;
   write_json "BENCH_search.json";

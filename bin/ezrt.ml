@@ -8,103 +8,7 @@
 
 open Ezrealtime
 open Cmdliner
-
-let load_spec file case =
-  match file, case with
-  | Some path, None -> (
-    match Dsl.load_file path with
-    | Ok spec -> Ok spec
-    | Error e -> Error (Dsl.error_to_string e))
-  | None, Some name -> (
-    match List.assoc_opt name Case_studies.all with
-    | Some spec -> Ok spec
-    | None ->
-      Error
-        (Printf.sprintf "unknown case study %S (available: %s)" name
-           (String.concat ", " (List.map fst Case_studies.all))))
-  | Some _, Some _ -> Error "pass either FILE or --case, not both"
-  | None, None -> Error "pass a specification FILE or --case NAME"
-
-let file_arg =
-  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
-         ~doc:"ezRealtime DSL specification (XML, see Fig 7 of the paper).")
-
-let case_arg =
-  Arg.(value & opt (some string) None & info [ "case" ] ~docv:"NAME"
-         ~doc:"Use a built-in case study (mine-pump, fig3, fig4, fig8, \
-               quickstart).")
-
-let policy_arg =
-  let policy_conv = Arg.enum Priority.all in
-  Arg.(value & opt policy_conv Priority.Edf & info [ "policy" ] ~docv:"POLICY"
-         ~doc:"Branch ordering policy: edf, rm, dm or fifo.")
-
-let no_po_arg =
-  Arg.(value & flag & info [ "no-partial-order" ]
-         ~doc:"Disable the partial-order state-space pruning.")
-
-let latest_arg =
-  Arg.(value & flag & info [ "latest-release" ]
-         ~doc:"Also branch on the latest release times (inserted idle \
-               time).")
-
-let max_states_arg =
-  Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"N"
-         ~doc:"Stored-state budget for the search.")
-
-let search_options policy no_po latest max_stored =
-  { Search.policy; partial_order = not no_po; latest_release = latest;
-    max_stored; incremental = true }
-
-let or_die = function
-  | Ok v -> v
-  | Error msg ->
-    prerr_endline ("ezrt: " ^ msg);
-    exit 1
-
-let with_spec file case f = f (or_die (load_spec file case))
-
-(* --- observability flags (accepted by every command) ----------------- *)
-
-let trace_arg =
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Record begin/end spans and events of every synthesis phase \
-               and write them as Chrome trace-event JSON to FILE on exit \
-               (open at chrome://tracing or https://ui.perfetto.dev).")
-
-let metrics_arg =
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
-         ~doc:"Write the counter registry as a Prometheus-style text dump \
-               to FILE on exit.")
-
-let progress_arg =
-  Arg.(value & flag & info [ "progress" ]
-         ~doc:"Print a throttled one-line progress report to stderr while \
-               searches and fuzz campaigns run.")
-
-(* Sinks are installed while cmdliner evaluates the term — before the
-   command body runs — and flushed via [at_exit] so early [exit 1]
-   paths still write their files. *)
-let obs_setup trace metrics progress =
-  (match trace with
-  | Some path ->
-    let sink = Obs_trace.create () in
-    Obs_trace.install sink;
-    at_exit (fun () ->
-        Obs_trace.save_file path sink;
-        Printf.eprintf "trace written to %s (%d events, %d dropped)\n%!" path
-          (min (Obs_trace.written sink) (Obs_trace.capacity sink))
-          (Obs_trace.dropped sink))
-  | None -> ());
-  (match metrics with
-  | Some path ->
-    at_exit (fun () ->
-        Obs_metrics.save_file path;
-        Printf.eprintf "metrics written to %s\n%!" path)
-  | None -> ());
-  if progress then Obs_progress.install (Obs_progress.create ())
-
-let obs_term = Term.(const obs_setup $ trace_arg $ metrics_arg $ progress_arg)
+open Cli_common
 
 (* --- check ---------------------------------------------------------- *)
 
@@ -132,22 +36,31 @@ let check_cmd =
 (* --- info ----------------------------------------------------------- *)
 
 let info_cmd =
-  let run () file case =
+  let digest_arg =
+    Arg.(value & flag & info [ "digest" ]
+           ~doc:"Print only the specification's content address — the \
+                 canonical, order-insensitive digest that keys the \
+                 result cache (see docs/SERVICE.md).")
+  in
+  let run () file case digest =
     with_spec file case (fun spec ->
-        Format.printf "%a@." Spec.pp spec;
-        List.iter
-          (fun (id, n) ->
-            match Spec.find_task spec id with
-            | Some t -> Format.printf "  %a  instances=%d@." Task.pp t n
-            | None -> ())
-          (Spec.instance_counts spec);
-        Format.printf "@.workload statistics:@.%a@." Stats.pp
-          (Stats.compute spec);
-        let model = Translate.translate spec in
-        Format.printf "%a@." Translate.pp_inventory model)
+        if digest then print_endline (Spec_digest.digest spec)
+        else begin
+          Format.printf "%a@." Spec.pp spec;
+          List.iter
+            (fun (id, n) ->
+              match Spec.find_task spec id with
+              | Some t -> Format.printf "  %a  instances=%d@." Task.pp t n
+              | None -> ())
+            (Spec.instance_counts spec);
+          Format.printf "@.workload statistics:@.%a@." Stats.pp
+            (Stats.compute spec);
+          let model = Translate.translate spec in
+          Format.printf "%a@." Translate.pp_inventory model
+        end)
   in
   Cmd.v (Cmd.info "info" ~doc:"Print the specification and model summary.")
-    Term.(const run $ obs_term $ file_arg $ case_arg)
+    Term.(const run $ obs_term $ file_arg $ case_arg $ digest_arg)
 
 (* --- model ---------------------------------------------------------- *)
 
@@ -194,35 +107,6 @@ let model_cmd =
 
 (* --- schedule ------------------------------------------------------- *)
 
-let engine_arg =
-  let engine_conv =
-    Arg.enum
-      [ ("discrete", `Discrete); ("classes", `Classes);
-        ("portfolio", `Portfolio); ("parallel", `Parallel) ]
-  in
-  Arg.(value & opt engine_conv `Discrete & info [ "engine" ] ~docv:"ENGINE"
-         ~doc:"Search engine: discrete (integer-clock TLTS), classes \
-               (dense-time state classes), portfolio (race every \
-               policy and engine on parallel domains, first feasible \
-               schedule wins), or parallel (work-stealing DFS over one \
-               search problem with a shared visited table).")
-
-let domains_arg =
-  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
-         ~doc:"Worker domains for the parallel, classes and portfolio \
-               engines (default: from the host's recommended domain \
-               count; classes defaults to 1).")
-
-let no_subsume_arg =
-  Arg.(value & flag & info [ "no-subsume" ]
-         ~doc:"Disable inclusion-based subsumption in the class engines \
-               (exact visited-set pruning only).")
-
-let no_analysis_arg =
-  Arg.(value & flag & info [ "no-analysis" ]
-         ~doc:"Skip the analytic schedulability pre-pass in the portfolio \
-               engine and always race the search configurations.")
-
 let gantt_arg =
   Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
 
@@ -232,8 +116,21 @@ let vcd_arg =
 
 let schedule_cmd =
   let run () file case policy no_po latest max_states engine domains no_subsume
-      no_analysis gantt vcd =
+      no_analysis timeout gantt vcd =
     with_spec file case (fun spec ->
+        let deadline = deadline_of_timeout timeout in
+        let cancel = cancel_of_deadline deadline in
+        (* a budget failure with the wall clock past the deadline is the
+           deadline firing through the cancel hook, not a real budget
+           exhaustion — report it as the distinct timed-out verdict *)
+        let die_search_failure f =
+          (match f with
+          | Search.Budget_exhausted when deadline_expired deadline ->
+            die_timed_out ()
+          | _ -> ());
+          prerr_endline ("ezrt: " ^ Search.failure_to_string f);
+          exit 1
+        in
         let finish artifact =
           Format.printf "%a" report artifact;
           if gantt then
@@ -248,8 +145,9 @@ let schedule_cmd =
         match engine with
         | `Discrete -> (
           let search = search_options policy no_po latest max_states in
-          match synthesize ~search spec with
+          match synthesize ~search ~cancel spec with
           | Ok artifact -> finish artifact
+          | Error (No_schedule (f, _)) -> die_search_failure f
           | Error e ->
             prerr_endline ("ezrt: " ^ error_to_string e);
             exit 1)
@@ -261,7 +159,7 @@ let schedule_cmd =
             | Some d when d > 1 ->
               let r =
                 Par_class.find_schedule ~max_stored:max_states ~subsume
-                  ~domains:d model
+                  ~domains:d ~cancel model
               in
               ( r.Par_class.outcome,
                 r.Par_class.metrics,
@@ -270,7 +168,7 @@ let schedule_cmd =
             | Some _ | None ->
               let outcome, metrics =
                 Class_search.find_schedule ~max_stored:max_states ~subsume
-                  model
+                  ~cancel model
               in
               (outcome, metrics, "")
           in
@@ -300,12 +198,16 @@ let schedule_cmd =
                 Printf.printf "VCD written to %s\n" path
               | None -> ()))
           | Error f ->
+            (match f with
+            | Class_search.Budget_exhausted when deadline_expired deadline ->
+              die_timed_out ()
+            | _ -> ());
             prerr_endline ("ezrt: " ^ Class_search.failure_to_string f);
             exit 1)
         | `Parallel -> (
           let model = Translate.translate spec in
           let options = search_options policy no_po latest max_states in
-          let r = Par_search.find_schedule ~options ?domains model in
+          let r = Par_search.find_schedule ~options ?domains ~cancel model in
           match r.Par_search.outcome with
           | Ok schedule -> (
             let segments = Timeline.of_schedule model schedule in
@@ -331,14 +233,12 @@ let schedule_cmd =
                 Vcd.save_file path model segments;
                 Printf.printf "VCD written to %s\n" path
               | None -> ()))
-          | Error f ->
-            prerr_endline ("ezrt: " ^ Search.failure_to_string f);
-            exit 1)
+          | Error f -> die_search_failure f)
         | `Portfolio -> (
           let model = Translate.translate spec in
           let race =
             Portfolio.find_schedule ~max_stored:max_states ?domains
-              ~analysis:(not no_analysis) model
+              ~analysis:(not no_analysis) ~cancel model
           in
           match race.Portfolio.outcome with
           | Ok schedule -> (
@@ -379,15 +279,16 @@ let schedule_cmd =
             | Portfolio.Prepass_rejected w ->
               prerr_endline
                 ("ezrt: analysis pre-pass decided: infeasible — "
-                ^ Schedulability.witness_to_string w)
-            | _ -> prerr_endline ("ezrt: " ^ Search.failure_to_string f));
-            exit 1))
+                ^ Schedulability.witness_to_string w);
+              exit 1
+            | _ -> die_search_failure f)))
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Synthesize a feasible pre-runtime schedule.")
     Term.(const run $ obs_term $ file_arg $ case_arg $ policy_arg $ no_po_arg
           $ latest_arg $ max_states_arg $ engine_arg $ domains_arg
-          $ no_subsume_arg $ no_analysis_arg $ gantt_arg $ vcd_arg)
+          $ no_subsume_arg $ no_analysis_arg $ timeout_arg $ gantt_arg
+          $ vcd_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 
@@ -796,10 +697,203 @@ let fuzz_cmd =
           $ fuzz_max_states_arg $ no_shrink_arg $ engines_arg
           $ fuzz_domains_arg $ quiet_arg)
 
+(* --- serve ----------------------------------------------------------- *)
+
+let queue_limit_arg =
+  Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N"
+         ~doc:"Bound on accepted-but-unstarted jobs; submissions beyond \
+               it are shed with an explicit overloaded response.")
+
+let serve_timeout_arg =
+  Arg.(value & opt (some int) None & info [ "timeout" ] ~docv:"MS"
+         ~doc:"Default per-job wall-clock deadline in milliseconds \
+               (requests may override with their own timeout_ms field).")
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Serve the protocol over a Unix domain socket bound at \
+                 PATH instead of stdin/stdout.")
+  in
+  let run () workers queue_limit cache_dir max_states timeout socket =
+    let cache =
+      Option.map (fun dir -> Result_cache.create ~dir ()) cache_dir
+    in
+    let server =
+      Server.create ?workers ~queue_limit ?cache ~max_states
+        ?default_timeout_ms:timeout ()
+    in
+    (match socket with
+    | Some path ->
+      Printf.eprintf "ezrt: serving on %s (send {\"op\":\"shutdown\"} to \
+                      stop)\n%!"
+        path;
+      Server.serve_socket server ~path
+    | None -> ignore (Server.serve_channels server stdin stdout));
+    Server.shutdown server
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the synthesis job server: newline-delimited JSON \
+             requests over stdio or a Unix domain socket, a bounded job \
+             queue drained by worker domains, and the content-addressed \
+             result cache (see docs/SERVICE.md).")
+    Term.(const run $ obs_term $ workers_arg $ queue_limit_arg
+          $ cache_dir_arg $ max_states_arg $ serve_timeout_arg $ socket_arg)
+
+(* --- batch ----------------------------------------------------------- *)
+
+let batch_cmd =
+  let corpus_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CORPUS"
+           ~doc:"A directory of DSL XML specifications (all *.xml files, \
+                 sorted), or a manifest file listing one specification \
+                 path per line (relative paths resolve against the \
+                 manifest's directory).")
+  in
+  let run () corpus workers cache_dir max_states timeout =
+    let files =
+      if Sys.is_directory corpus then
+        Sys.readdir corpus |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".xml")
+        |> List.sort compare
+        |> List.map (Filename.concat corpus)
+      else
+        In_channel.with_open_text corpus In_channel.input_lines
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+        |> List.map (fun l ->
+               if Sys.file_exists l then l
+               else Filename.concat (Filename.dirname corpus) l)
+    in
+    if files = [] then begin
+      prerr_endline "ezrt: no specifications in the corpus";
+      exit 1
+    end;
+    let specs =
+      List.map
+        (fun path ->
+          match Dsl.load_file path with
+          | Ok spec -> (path, spec)
+          | Error e ->
+            prerr_endline
+              ("ezrt: " ^ path ^ ": " ^ Dsl.error_to_string e);
+            exit 1)
+        files
+    in
+    let n = List.length specs in
+    let cache =
+      Option.map (fun dir -> Result_cache.create ~dir ()) cache_dir
+    in
+    (* the whole corpus is admitted up front, so the queue bound is the
+       corpus size — batch has no load to shed *)
+    let server =
+      Server.create ?workers ~queue_limit:n ?cache ~max_states
+        ?default_timeout_ms:timeout ()
+    in
+    let started = Unix.gettimeofday () in
+    let results = Array.make n None in
+    List.iteri
+      (fun i (path, spec) ->
+        let req =
+          { Server.id = Filename.basename path; spec; timeout_ms = None;
+            max_states = None }
+        in
+        match
+          Server.submit server req ~on_done:(fun r -> results.(i) <- Some r)
+        with
+        | `Accepted -> ()
+        | `Overloaded ->
+          results.(i) <-
+            Some { Server.id = req.Server.id; result = Error "overloaded" })
+      specs;
+    Server.shutdown server;
+    let elapsed = Unix.gettimeofday () -. started in
+    let errors = ref 0 and timed_out = ref 0 and cached = ref 0 in
+    Array.iter
+      (fun r ->
+        match r with
+        | None -> incr errors  (* unreachable: shutdown drains *)
+        | Some (r : Server.response) -> (
+          match r.Server.result with
+          | Ok o ->
+            if o.Server.cached then incr cached;
+            (match o.Server.verdict with
+            | Server.Timed_out -> incr timed_out
+            | _ -> ());
+            Printf.printf "%s %s\n" r.Server.id (Server.verdict_line o)
+          | Error msg ->
+            incr errors;
+            Printf.printf "%s error\n" r.Server.id;
+            Printf.eprintf "ezrt: %s: %s\n" r.Server.id msg))
+      results;
+    (match cache with
+    | Some c ->
+      let k = Result_cache.counters c in
+      Printf.eprintf
+        "cache: %d hit(s), %d miss(es), %d invalid, %d evicted\n"
+        k.Result_cache.hits k.Result_cache.misses k.Result_cache.invalid
+        k.Result_cache.evictions
+    | None -> ());
+    Printf.eprintf "batch: %d spec(s) in %.1f s (%.1f specs/s), %d from \
+                    cache, %d timed out, %d error(s)\n"
+      n elapsed
+      (float_of_int n /. Float.max elapsed 1e-9)
+      !cached !timed_out !errors;
+    if !errors > 0 then exit 1;
+    if !timed_out > 0 then exit timeout_exit_code
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Synthesize a whole corpus of specifications through the job \
+             pool, one deterministic verdict line per spec on stdout \
+             (byte-identical across reruns, so warm-cache runs are \
+             diffable against cold ones).")
+    Term.(const run $ obs_term $ corpus_arg $ workers_arg $ cache_dir_arg
+          $ max_states_arg $ serve_timeout_arg)
+
+(* --- gen ------------------------------------------------------------- *)
+
+let gen_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"PRNG seed; the corpus is a pure function of it.")
+  in
+  let count_arg =
+    Arg.(value & opt int 50 & info [ "count" ] ~docv:"K"
+           ~doc:"Number of specifications to write.")
+  in
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Use the generator's small CI profile.")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write the specifications here as DSL XML (created if \
+                 missing).")
+  in
+  let run () seed count smoke out =
+    let profile = if smoke then Spec_gen.smoke else Spec_gen.default in
+    if not (Sys.file_exists out) then Unix.mkdir out 0o755;
+    for i = 0 to count - 1 do
+      let spec = Spec_gen.spec_at ~profile ~seed i in
+      Dsl.save_file
+        (Filename.concat out (Printf.sprintf "spec-%04d.xml" i))
+        spec
+    done;
+    Printf.printf "wrote %d spec(s) to %s (seed %d)\n" count out seed
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Write a seeded corpus of generated specifications — input \
+             for $(b,ezrt batch) and the CI service smoke test.")
+    Term.(const run $ obs_term $ seed_arg $ count_arg $ smoke_arg $ out_arg)
+
 let main_cmd =
   let doc = "embedded hard real-time software synthesis (ezRealtime)" in
   Cmd.group (Cmd.info "ezrt" ~version ~doc)
     [ check_cmd; info_cmd; model_cmd; schedule_cmd; analyze_cmd;
-      model_check_cmd; codegen_cmd; simulate_cmd; compare_cmd; fuzz_cmd ]
+      model_check_cmd; codegen_cmd; simulate_cmd; compare_cmd; fuzz_cmd;
+      serve_cmd; batch_cmd; gen_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -60,6 +60,10 @@ module Fuzz = Ezrt_gen.Fuzz
 module Obs_trace = Ezrt_obs.Trace
 module Obs_metrics = Ezrt_obs.Metrics
 module Obs_progress = Ezrt_obs.Progress
+module Service_json = Ezrt_service.Json
+module Spec_digest = Ezrt_service.Spec_digest
+module Result_cache = Ezrt_service.Cache
+module Server = Ezrt_service.Server
 
 type artifact = {
   spec : Spec.t;
@@ -90,7 +94,7 @@ let error_to_string = function
 
 let version = "1.0.0"
 
-let synthesize ?search ?(target = Target.hosted) spec =
+let synthesize ?search ?cancel ?(target = Target.hosted) spec =
   Obs_trace.with_span ~cat:"synthesize"
     ~args:[ ("spec", Obs_trace.Str spec.Spec.name) ]
     (fun () ->
@@ -98,7 +102,7 @@ let synthesize ?search ?(target = Target.hosted) spec =
       | _ :: _ as errors -> Error (Invalid_spec errors)
       | [] -> (
         let model = Translate.translate spec in
-        let outcome, metrics = Search.find_schedule ?options:search model in
+        let outcome, metrics = Search.find_schedule ?options:search ?cancel model in
         match outcome with
         | Error f -> Error (No_schedule (f, metrics))
         | Ok schedule -> (
@@ -115,8 +119,8 @@ let synthesize ?search ?(target = Target.hosted) spec =
             Ok { spec; model; schedule; segments; table; c_program; metrics })))
     "synthesize"
 
-let synthesize_exn ?search ?target spec =
-  match synthesize ?search ?target spec with
+let synthesize_exn ?search ?cancel ?target spec =
+  match synthesize ?search ?cancel ?target spec with
   | Ok artifact -> artifact
   | Error e -> failwith (error_to_string e)
 

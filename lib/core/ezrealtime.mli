@@ -88,6 +88,15 @@ module Obs_trace = Ezrt_obs.Trace
 module Obs_metrics = Ezrt_obs.Metrics
 module Obs_progress = Ezrt_obs.Progress
 
+(** The synthesis service (see [docs/SERVICE.md]): content-addressed
+    result caching with re-validation on every hit, and the concurrent
+    job server behind [ezrt serve] / [ezrt batch]. *)
+
+module Service_json = Ezrt_service.Json
+module Spec_digest = Ezrt_service.Spec_digest
+module Result_cache = Ezrt_service.Cache
+module Server = Ezrt_service.Server
+
 (** {1 The synthesis pipeline} *)
 
 type artifact = {
@@ -111,13 +120,22 @@ val error_to_string : error -> string
 
 val synthesize :
   ?search:Search.options ->
+  ?cancel:(unit -> bool) ->
   ?target:Target.t ->
   Spec.t ->
   (artifact, error) result
-(** [target] defaults to {!Target.hosted}. *)
+(** [target] defaults to {!Target.hosted}.  [cancel] is the search's
+    cancellation hook (polled at every node): when it returns [true]
+    the search unwinds and this returns
+    [Error (No_schedule (Budget_exhausted, _))] — how [--timeout]
+    maps wall-clock deadlines onto the discrete engine. *)
 
 val synthesize_exn :
-  ?search:Search.options -> ?target:Target.t -> Spec.t -> artifact
+  ?search:Search.options ->
+  ?cancel:(unit -> bool) ->
+  ?target:Target.t ->
+  Spec.t ->
+  artifact
 
 val report : Format.formatter -> artifact -> unit
 (** Human-readable synthesis summary: net size, search statistics,

@@ -222,7 +222,7 @@ let run_prepass model =
     (Prepass_unknown why, None)
 
 let find_schedule ?configs ?(max_stored = 500_000) ?domains ?(analysis = true)
-    model =
+    ?(cancel = Search.no_cancel) model =
   let started_at = Unix.gettimeofday () in
   let prepass, decided =
     if analysis then run_prepass model
@@ -274,7 +274,7 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains ?(analysis = true)
     let continue = ref true in
     while !continue do
       let i = Atomic.fetch_and_add next 1 in
-      if i >= n || Atomic.get stop then continue := false
+      if i >= n || Atomic.get stop || cancel () then continue := false
       else begin
         Atomic.incr started;
         worked.(wid) <- true;
@@ -284,8 +284,10 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains ?(analysis = true)
         Ezrt_obs.Trace.begin_span ~cat:"portfolio" "portfolio-member"
           ~args:[ ("config", Ezrt_obs.Trace.Str name) ];
         let saw_cancel = ref false in
-        let cancel () =
-          let c = Atomic.get stop in
+        let member_cancel () =
+          (* the race's own stop signal, ORed with the caller's
+             deadline/cancellation hook *)
+          let c = Atomic.get stop || cancel () in
           if c && not !saw_cancel then begin
             saw_cancel := true;
             Ezrt_obs.Trace.instant ~cat:"portfolio" "member-cancelled"
@@ -294,7 +296,7 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains ?(analysis = true)
           c
         in
         let (attempt : attempt) =
-          run_config ~max_stored ~cancel model cfgs.(i)
+          run_config ~max_stored ~cancel:member_cancel model cfgs.(i)
         in
         let attempt = { attempt with cancelled = !saw_cancel } in
         Ezrt_obs.Trace.end_span ~cat:"portfolio" "portfolio-member"

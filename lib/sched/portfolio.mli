@@ -93,6 +93,7 @@ val find_schedule :
   ?max_stored:int ->
   ?domains:int ->
   ?analysis:bool ->
+  ?cancel:(unit -> bool) ->
   Ezrt_blocks.Translate.t ->
   t
 (** [max_stored] bounds each configuration separately (default
@@ -100,6 +101,12 @@ val find_schedule :
     config, at most [Domain.recommended_domain_count () - 1]); with
     [~domains:1] the configs run sequentially on the calling domain in
     order, which is deterministic.
+
+    [cancel] (default: never) is ORed with the race's internal stop
+    signal and polled by every member at every search node and by the
+    queue before starting a member — the hook wall-clock deadlines
+    (`--timeout`, service jobs) map onto.  A cancelled race reports
+    [Budget_exhausted], never [Infeasible].
 
     [analysis] (default [true]) runs the analytic pre-pass first: a
     witnessed quick-reject or a certified EDF quick-accept

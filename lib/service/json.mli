@@ -1,0 +1,34 @@
+(** Minimal JSON values for the service protocol.
+
+    The repository deliberately carries no third-party JSON dependency;
+    the serve/batch protocol needs only objects, arrays, strings,
+    numbers, booleans and null, parsed from and printed to single
+    lines (newline-delimited JSON).  Printing escapes control
+    characters so a printed value never spans lines. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering.  Integral floats print without a
+    fractional part ([Num 3.] is ["3"]). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error).  The standard backslash escapes and
+    [backslash-u] sequences are decoded; surrogate pairs outside the
+    BMP are emitted as UTF-8. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on objects; [None] on anything else. *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+val to_num : t -> float option

@@ -1,0 +1,102 @@
+(* Canonical content addressing of specifications.
+
+   The encoding is built for injectivity, not speed: every string is
+   length-prefixed (so "ab"^"c" and "a"^"bc" cannot collide), every
+   record is tagged with a field marker, and every list is sorted by a
+   total key before encoding (so list order cannot leak into the
+   address).  MD5 over the result is plenty for a content address —
+   the cache re-validates every hit semantically, so even an
+   adversarial collision degrades to a miss, never to a wrong
+   answer. *)
+
+module Spec = Ezrt_spec.Spec
+module Task = Ezrt_spec.Task
+module Processor = Ezrt_spec.Processor
+module Message = Ezrt_spec.Message
+
+let version = "ezrt-digest-v1"
+
+let add_str buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let add_int buf n =
+  Buffer.add_char buf 'i';
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf ';'
+
+let add_tag buf tag = Buffer.add_char buf tag
+
+let add_opt_str buf = function
+  | None -> Buffer.add_char buf '_'
+  | Some s ->
+    Buffer.add_char buf '+';
+    add_str buf s
+
+let add_task buf (t : Task.t) =
+  add_tag buf 'T';
+  add_str buf t.Task.id;
+  add_str buf t.Task.name;
+  add_int buf t.Task.phase;
+  add_int buf t.Task.release;
+  add_int buf t.Task.wcet;
+  add_int buf t.Task.deadline;
+  add_int buf t.Task.period;
+  add_tag buf
+    (match t.Task.mode with Task.Non_preemptive -> 'N' | Task.Preemptive -> 'P');
+  add_int buf t.Task.energy;
+  add_str buf t.Task.processor;
+  add_opt_str buf t.Task.code
+
+let add_processor buf (p : Processor.t) =
+  add_tag buf 'C';
+  add_str buf p.Processor.id;
+  add_str buf p.Processor.name
+
+let add_message buf (m : Message.t) =
+  add_tag buf 'M';
+  add_str buf m.Message.id;
+  add_str buf m.Message.name;
+  add_str buf m.Message.sender;
+  add_str buf m.Message.receiver;
+  add_str buf m.Message.bus;
+  add_int buf m.Message.grant_time;
+  add_int buf m.Message.comm_time
+
+let add_pair buf (a, b) =
+  add_str buf a;
+  add_str buf b
+
+let sort_uniq_by key xs = List.sort (fun a b -> compare (key a) (key b)) xs
+
+let canonical_bytes (spec : Spec.t) =
+  let buf = Buffer.create 512 in
+  add_tag buf 'S';
+  add_str buf spec.Spec.name;
+  add_int buf spec.Spec.disp_overhead;
+  (* each section is tagged and counted, so an empty task list cannot
+     be confused with an empty message list *)
+  let section tag add xs =
+    add_tag buf tag;
+    add_int buf (List.length xs);
+    List.iter (add buf) xs
+  in
+  section 't' add_task
+    (sort_uniq_by (fun (t : Task.t) -> (t.Task.id, t.Task.name)) spec.Spec.tasks);
+  section 'c' add_processor
+    (sort_uniq_by
+       (fun (p : Processor.t) -> (p.Processor.id, p.Processor.name))
+       spec.Spec.processors);
+  section 'm' add_message
+    (sort_uniq_by
+       (fun (m : Message.t) -> (m.Message.id, m.Message.name))
+       spec.Spec.messages);
+  section 'p' add_pair (sort_uniq_by Fun.id spec.Spec.precedences);
+  section 'x' add_pair
+    (sort_uniq_by Fun.id
+       (List.map Spec.normalize_exclusion spec.Spec.exclusions));
+  Buffer.contents buf
+
+let digest spec =
+  Digest.to_hex (Digest.string (version ^ "\000" ^ canonical_bytes spec))

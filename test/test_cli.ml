@@ -249,6 +249,112 @@ let test_bad_usage () =
     [ "check"; "--case"; "fig3"; "/tmp/nonexistent-also-a-file.xml" ]
     ~code:1 ~needles:[ "not both" ]
 
+(* --- the synthesis service -------------------------------------------- *)
+
+let test_info_digest () =
+  match run [ "info"; "--case"; "quickstart"; "--digest" ] with
+  | None -> ()
+  | Some (code, output) ->
+    Alcotest.(check int) "exit code" 0 code;
+    let digest = String.trim output in
+    Alcotest.(check int) "32 hex chars" 32 (String.length digest);
+    (* the address is stable across invocations *)
+    (match run [ "info"; "--case"; "quickstart"; "--digest" ] with
+    | Some (0, again) ->
+      Alcotest.(check string) "deterministic" digest (String.trim again)
+    | _ -> Alcotest.fail "second --digest run failed")
+
+let test_schedule_timeout () =
+  (* deadline already expired at startup: the distinct verdict and the
+     distinct exit code, on both a portfolio and a discrete search *)
+  expect
+    [ "schedule"; "--case"; "mine-pump"; "--timeout"; "0";
+      "--engine"; "portfolio" ]
+    ~code:124 ~needles:[ "timed-out" ];
+  expect
+    [ "schedule"; "--case"; "mine-pump"; "--timeout"; "0" ]
+    ~code:124 ~needles:[ "timed-out" ]
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ezrt_cli_svc-%d-%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_gen_and_batch_warm () =
+  match Lazy.force binary with
+  | None -> ()
+  | Some _ ->
+    with_temp_dir (fun corpus ->
+        with_temp_dir (fun cache ->
+            expect
+              [ "gen"; "--out"; corpus; "--count"; "4"; "--seed"; "3";
+                "--smoke" ]
+              ~code:0 ~needles:[ "wrote 4 spec(s)" ];
+            let batch () =
+              run [ "batch"; corpus; "--cache-dir"; cache; "--workers"; "2" ]
+            in
+            match (batch (), batch ()) with
+            | Some (0, cold), Some (0, warm) ->
+              (* stdout lines (the verdicts) must be byte-identical;
+                 stderr differs (hit/miss counters) *)
+              let verdicts out =
+                List.filter
+                  (fun l -> contains ~needle:"spec-" l)
+                  (String.split_on_char '\n' out)
+              in
+              Alcotest.(check (list string))
+                "cold and warm verdicts identical" (verdicts cold)
+                (verdicts warm);
+              (* not every verdict is cacheable (exhaustion infeasibles
+                 and inconclusives recompute), but a warm run must hit
+                 for the rest *)
+              let hits =
+                List.find_map
+                  (fun l ->
+                    match String.split_on_char ' ' (String.trim l) with
+                    | "cache:" :: n :: "hit(s)," :: _ -> int_of_string_opt n
+                    | _ -> None)
+                  (String.split_on_char '\n' warm)
+              in
+              (match hits with
+              | Some n when n > 0 -> ()
+              | Some _ | None ->
+                Alcotest.failf "warm batch did not hit the cache:\n%s" warm)
+            | _ -> Alcotest.fail "batch run failed"))
+
+let test_serve_stdio () =
+  match Lazy.force binary with
+  | None -> ()
+  | Some bin ->
+    let cmd =
+      Printf.sprintf
+        "printf '%%s\\n' '{\"op\":\"ping\"}' \
+         '{\"id\":\"j1\",\"case\":\"quickstart\"}' '{\"op\":\"shutdown\"}' \
+         | %s serve 2>/dev/null"
+        (Filename.quote bin)
+    in
+    let ic = Unix.open_process_in cmd in
+    let output = In_channel.input_all ic in
+    let code =
+      match Unix.close_process_in ic with Unix.WEXITED n -> n | _ -> -1
+    in
+    Alcotest.(check int) "serve exits cleanly" 0 code;
+    List.iter
+      (fun needle ->
+        if not (contains ~needle output) then
+          Alcotest.failf "serve output lacks %S:\n%s" needle output)
+      [ "\"op\":\"pong\""; "\"id\":\"j1\""; "\"verdict\":\"feasible\"";
+        "\"op\":\"shutdown\"" ]
+
 let suite =
   [
     case "check" test_check;
@@ -279,4 +385,8 @@ let suite =
     case "trace output" test_trace_output;
     case "metrics output" test_metrics_output;
     case "bad usage" test_bad_usage;
+    case "info --digest" test_info_digest;
+    slow_case "schedule --timeout exits 124" test_schedule_timeout;
+    slow_case "gen + batch cold/warm" test_gen_and_batch_warm;
+    slow_case "serve over stdio" test_serve_stdio;
   ]
