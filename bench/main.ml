@@ -1262,6 +1262,117 @@ let a19 () =
       ("verdicts_identical", jbool true);
     ]
 
+(* --- A20: stubborn-set partial-order reduction -------------------------- *)
+
+(* Eight independent zero-laxity tasks: every task must run back-to-back
+   from time 0, so the set is infeasible, and the exhaustive proof must
+   consider the bookkeeping transitions of all eight tasks — factorially
+   many interleavings, of which the stubborn set keeps one
+   representative per equivalence class.  The mine-pump row shows the
+   reduction is verdict- and certificate-neutral on the feasible
+   flagship case. *)
+let independent_8 =
+  let tasks =
+    List.init 8 (fun i ->
+        Task.make
+          ~name:(Printf.sprintf "c%d" i)
+          ~wcet:1 ~deadline:1 ~period:60 ())
+  in
+  Spec.make ~name:"independent-8" ~tasks ()
+
+let a20 () =
+  section "A20" "Stubborn-set partial-order reduction (POR on vs off)";
+  let verdict = function
+    | Ok _ -> "feasible"
+    | Error f -> Search.failure_to_string f
+  in
+  List.iter
+    (fun (name, spec, expect_2x) ->
+      let model = Translate.translate spec in
+      let run por =
+        Search.find_schedule
+          ~options:{ Search.default_options with por }
+          model
+      in
+      let par por =
+        Par_search.find_schedule
+          ~options:{ Search.default_options with por }
+          ~domains:!bench_domains model
+      in
+      let o_on, m_on = run true in
+      let o_off, m_off = run false in
+      let p_on = par true and p_off = par false in
+      let certified = function
+        | Ok schedule ->
+          Result.is_ok
+            (Validator.check model (Timeline.of_schedule model schedule))
+        | Error _ -> false
+      in
+      if verdict o_on <> verdict o_off then
+        failwith
+          (Printf.sprintf "A20: %s: sequential verdict differs (%s vs %s)"
+             name (verdict o_on) (verdict o_off));
+      if verdict p_on.Par_search.outcome <> verdict p_off.Par_search.outcome
+      then
+        failwith
+          (Printf.sprintf "A20: %s: parallel verdict differs (%s vs %s)" name
+             (verdict p_on.Par_search.outcome)
+             (verdict p_off.Par_search.outcome));
+      if Result.is_ok o_on && not (certified o_on && certified o_off) then
+        failwith ("A20: " ^ name ^ ": schedule fails certification");
+      let ratio on off = float_of_int off /. float_of_int (max 1 on) in
+      let seq_ratio = ratio m_on.Search.visited m_off.Search.visited in
+      let par_ratio =
+        ratio p_on.Par_search.metrics.Search.visited
+          p_off.Par_search.metrics.Search.visited
+      in
+      if expect_2x then begin
+        if m_on.Search.por_reduced = 0 then
+          failwith ("A20: " ^ name ^ ": reduction never fired");
+        if seq_ratio < 2.0 || par_ratio < 2.0 then
+          failwith
+            (Printf.sprintf
+               "A20: %s: expected >= 2x visited-state reduction, got \
+                %.2fx seq / %.2fx par"
+               name seq_ratio par_ratio)
+      end;
+      Format.printf
+        "%-14s %-10s | seq %8d -> %8d visited (%.2fx) | par %8d -> %8d \
+         (%.2fx) | %d reduced, %d fallback@."
+        name (verdict o_on) m_off.Search.visited m_on.Search.visited
+        seq_ratio p_off.Par_search.metrics.Search.visited
+        p_on.Par_search.metrics.Search.visited par_ratio
+        m_on.Search.por_reduced m_on.Search.por_fallback;
+      add_json ("A20_por_" ^ name)
+        [
+          ("spec", jstr name);
+          ("feasible", jbool (Result.is_ok o_on));
+          ("verdicts_agree", jbool true);
+          ("seq_visited_on", jint m_on.Search.visited);
+          ("seq_visited_off", jint m_off.Search.visited);
+          ("seq_reduction", jfloat seq_ratio);
+          ("par_visited_on", jint p_on.Par_search.metrics.Search.visited);
+          ("par_visited_off", jint p_off.Par_search.metrics.Search.visited);
+          ("par_reduction", jfloat par_ratio);
+          ("por_reduced", jint m_on.Search.por_reduced);
+          ("por_fallback", jint m_on.Search.por_fallback);
+          ("por_skipped", jint m_on.Search.por_skipped);
+          ("elapsed_ms_on", jfloat (ms m_on));
+          ("elapsed_ms_off", jfloat (ms m_off));
+        ])
+    [
+      ("mine-pump", Case_studies.mine_pump, false);
+      ("independent-8", independent_8, true);
+    ];
+  (* the CI smoke lane leans on this counter being live *)
+  if
+    Obs_metrics.value
+      (Obs_metrics.counter
+         ~labels:[ ("engine", "discrete-incremental") ]
+         "ezrt_por_reduced_total")
+    = 0
+  then failwith "A20: ezrt_por_reduced_total never moved"
+
 (* --- A15: differential fuzzing throughput ------------------------------ *)
 
 let a15 () =
@@ -1375,9 +1486,81 @@ let bechamel_suite () =
         (nanos /. 1e6))
     (List.sort compare rows)
 
+(* --- regression guard (--check BASELINE.json) --------------------------- *)
+
+(* Compares the entries just written against a committed baseline
+   (BASELINE.json): verdicts must match exactly; stored_states may grow
+   by at most 25% (plus a small absolute allowance for racy parallel
+   counts); states_per_s may drop to no less than 40% of the baseline —
+   hosts differ, order-of-magnitude slowdowns are what the guard is
+   for.  With [require_all] (the full run), baseline keys missing from
+   the current run fail too: a renamed experiment must update the
+   baseline deliberately.  Any violation exits non-zero so CI blocks
+   the regression. *)
+let check_against ~require_all ~current path =
+  let parse file =
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Service_json.of_string s with
+    | Ok (Service_json.Obj fields) -> fields
+    | Ok _ -> failwith (file ^ ": expected a JSON object")
+    | Error msg -> failwith (file ^ ": " ^ msg)
+  in
+  let base = parse path and cur = parse current in
+  let violations = ref [] in
+  let bad fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let compared = ref 0 in
+  List.iter
+    (fun (key, bentry) ->
+      match List.assoc_opt key cur with
+      | None ->
+        if require_all && key <> "meta" then
+          bad "%s: present in %s but missing from the current run" key path
+      | Some _ when key = "meta" -> ()
+      | Some centry ->
+        incr compared;
+        let field name entry conv =
+          Option.bind (Service_json.member name entry) conv
+        in
+        let to_bool = function Service_json.Bool b -> Some b | _ -> None in
+        (match
+           (field "feasible" bentry to_bool, field "feasible" centry to_bool)
+         with
+        | Some b, Some c when b <> c ->
+          bad "%s: verdict changed (baseline feasible=%b, now %b)" key b c
+        | _ -> ());
+        (match
+           ( field "stored_states" bentry Service_json.to_int,
+             field "stored_states" centry Service_json.to_int )
+         with
+        | Some b, Some c when c > (b * 5 / 4) + 64 ->
+          bad "%s: stored_states regressed (baseline %d, now %d)" key b c
+        | _ -> ());
+        (match
+           ( field "states_per_s" bentry Service_json.to_num,
+             field "states_per_s" centry Service_json.to_num )
+         with
+        | Some b, Some c when b > 0. && c < 0.4 *. b ->
+          bad "%s: states_per_s regressed (baseline %.0f, now %.0f)" key b c
+        | _ -> ()))
+    base;
+  match !violations with
+  | [] ->
+    Format.printf "check: %d entr%s within tolerance of %s@." !compared
+      (if !compared = 1 then "y" else "ies")
+      path
+  | vs ->
+    List.iter (fun v -> Format.printf "check FAILED: %s@." v) (List.rev vs);
+    exit 1
+
 (* The harness takes the same observability flags as ezrt: --trace FILE,
-   --metrics FILE and --progress — plus --domains N (A16 worker count)
-   and --smoke (CI subset: E1, A14, A16, A17, A18, A19).  No cmdliner here — a
+   --metrics FILE and --progress — plus --domains N (A16 worker count),
+   --smoke (CI subset: E1, A14, A16, A17, A18, A19, A20) and
+   --check BASELINE.json (regression guard, applied to the entries the
+   run just wrote).  No cmdliner here — a
    hand scan of argv keeps bench dependency-free. *)
 let obs_setup () =
   let argv = Sys.argv in
@@ -1411,10 +1594,10 @@ let obs_setup () =
     | Some d when d >= 1 -> bench_domains := d
     | Some _ | None -> ())
   | None -> ());
-  has "--smoke"
+  (has "--smoke", value_of "--check")
 
 let () =
-  let smoke = obs_setup () in
+  let smoke, check = obs_setup () in
   Format.printf "ezRealtime benchmark harness (paper: DATE 2008)@.";
   record_meta ();
   if smoke then begin
@@ -1423,7 +1606,8 @@ let () =
     a16 ();
     a17 ();
     a18 ();
-    a19 ()
+    a19 ();
+    a20 ()
   end
   else begin
     e1 ();
@@ -1453,8 +1637,13 @@ let () =
     a17 ();
     a18 ();
     a19 ();
+    a20 ();
     bechamel_suite ()
   end;
   write_json "BENCH_search.json";
   Format.printf "@.wrote BENCH_search.json@.";
+  (match check with
+  | Some path ->
+    check_against ~require_all:(not smoke) ~current:"BENCH_search.json" path
+  | None -> ());
   Format.printf "done.@."

@@ -116,7 +116,7 @@ let vcd_arg =
 
 let schedule_cmd =
   let run () file case policy no_po latest max_states engine domains no_subsume
-      no_analysis timeout gantt vcd =
+      no_analysis no_por timeout gantt vcd =
     with_spec file case (fun spec ->
         let deadline = deadline_of_timeout timeout in
         let cancel = cancel_of_deadline deadline in
@@ -144,7 +144,7 @@ let schedule_cmd =
         in
         match engine with
         | `Discrete -> (
-          let search = search_options policy no_po latest max_states in
+          let search = search_options policy no_po latest max_states no_por in
           match synthesize ~search ~cancel spec with
           | Ok artifact -> finish artifact
           | Error (No_schedule (f, _)) -> die_search_failure f
@@ -154,11 +154,12 @@ let schedule_cmd =
         | `Classes -> (
           let model = Translate.translate spec in
           let subsume = not no_subsume in
+          let por = not no_por in
           let outcome, metrics, par_note =
             match domains with
             | Some d when d > 1 ->
               let r =
-                Par_class.find_schedule ~max_stored:max_states ~subsume
+                Par_class.find_schedule ~max_stored:max_states ~subsume ~por
                   ~domains:d ~cancel model
               in
               ( r.Par_class.outcome,
@@ -167,7 +168,7 @@ let schedule_cmd =
                   r.Par_class.domains_used r.Par_class.steals )
             | Some _ | None ->
               let outcome, metrics =
-                Class_search.find_schedule ~max_stored:max_states ~subsume
+                Class_search.find_schedule ~max_stored:max_states ~subsume ~por
                   ~cancel model
               in
               (outcome, metrics, "")
@@ -206,7 +207,7 @@ let schedule_cmd =
             exit 1)
         | `Parallel -> (
           let model = Translate.translate spec in
-          let options = search_options policy no_po latest max_states in
+          let options = search_options policy no_po latest max_states no_por in
           let r = Par_search.find_schedule ~options ?domains ~cancel model in
           match r.Par_search.outcome with
           | Ok schedule -> (
@@ -238,7 +239,7 @@ let schedule_cmd =
           let model = Translate.translate spec in
           let race =
             Portfolio.find_schedule ~max_stored:max_states ?domains
-              ~analysis:(not no_analysis) ~cancel model
+              ~analysis:(not no_analysis) ~por:(not no_por) ~cancel model
           in
           match race.Portfolio.outcome with
           | Ok schedule -> (
@@ -287,8 +288,8 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Synthesize a feasible pre-runtime schedule.")
     Term.(const run $ obs_term $ file_arg $ case_arg $ policy_arg $ no_po_arg
           $ latest_arg $ max_states_arg $ engine_arg $ domains_arg
-          $ no_subsume_arg $ no_analysis_arg $ timeout_arg $ gantt_arg
-          $ vcd_arg)
+          $ no_subsume_arg $ no_analysis_arg $ no_por_arg $ timeout_arg
+          $ gantt_arg $ vcd_arg)
 
 (* --- analyze -------------------------------------------------------- *)
 
@@ -616,7 +617,8 @@ let fuzz_cmd =
   let engines_arg =
     Arg.(value & opt (some string) None & info [ "engines" ] ~docv:"NAMES"
            ~doc:"Comma-separated engine filter (reference, incremental, \
-                 latest-release, classes, portfolio, parallel, analysis); \
+                 latest-release, classes, portfolio, parallel, analysis, \
+                 no-por, classes-no-por); \
                  only these engines run and cross-check — e.g. \
                  $(b,--engines analysis,classes,reference) cross-checks the \
                  analytic pre-pass against search engines, and \

@@ -89,7 +89,7 @@ let feasible = function Feasible _ -> true | Infeasible | Unknown _ -> false
 
 let builtin_engines =
   [ "reference"; "incremental"; "latest-release"; "classes"; "portfolio";
-    "parallel"; "analysis" ]
+    "parallel"; "analysis"; "no-por"; "classes-no-por" ]
 
 let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
     spec =
@@ -149,23 +149,41 @@ let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
       let latest =
         run "latest-release" (discrete ~incremental:true ~latest_release:true)
       in
+      let of_class = function
+        | Ok s -> Feasible s
+        | Error Class_search.Infeasible -> Infeasible
+        | Error Class_search.Budget_exhausted ->
+          Unknown "stored-state budget exhausted"
+        | Error Class_search.Extraction_failed ->
+          flag Extraction_failed;
+          Unknown "extraction failed"
+      in
       let classes =
         run "classes" (fun () ->
-            let outcome =
-              if class_domains > 1 then
-                (Par_class.find_schedule ~max_stored ~domains:class_domains
-                   model)
-                  .Par_class.outcome
-              else fst (Class_search.find_schedule ~max_stored model)
-            in
-            match outcome with
-            | Ok s -> Feasible s
-            | Error Class_search.Infeasible -> Infeasible
-            | Error Class_search.Budget_exhausted ->
-              Unknown "stored-state budget exhausted"
-            | Error Class_search.Extraction_failed ->
-              flag Extraction_failed;
-              Unknown "extraction failed")
+            of_class
+              (if class_domains > 1 then
+                 (Par_class.find_schedule ~max_stored ~domains:class_domains
+                    model)
+                   .Par_class.outcome
+               else fst (Class_search.find_schedule ~max_stored model)))
+      in
+      (* POR-off baselines: the default rows above run with the
+         stubborn-set reduction on, so these two re-run the incremental
+         discrete and the class engine with [por = false] for theorem
+         (g) below *)
+      let no_por =
+        run "no-por" (fun () ->
+            of_search
+              (fst
+                 (Search.find_schedule
+                    ~options:
+                      { Search.default_options with max_stored; por = false }
+                    model)))
+      in
+      let classes_no_por =
+        run "classes-no-por" (fun () ->
+            of_class
+              (fst (Class_search.find_schedule ~max_stored ~por:false model)))
       in
       let portfolio =
         (* analysis off: keep this row a pure race result so the
@@ -224,6 +242,8 @@ let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
             ("portfolio", portfolio);
             ("parallel", parallel);
             ("analysis", analysis);
+            ("no-por", no_por);
+            ("classes-no-por", classes_no_por);
           ]
         @ extra_results
       in
@@ -372,6 +392,22 @@ let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
             | _ -> ())
           results
       | Some (Unknown _) | None -> ());
+      (* (g) the stubborn-set reduction must preserve the feasibility
+         verdict: POR-on and POR-off runs of the same engine agree on
+         decisive verdicts.  The specific schedule may differ — the
+         reduced expansion commits to one interleaving of each
+         independent diamond — but feasible/infeasible may not (both
+         runs' feasible schedules are certified by (a) above). *)
+      let por_pair on_name on off_name off =
+        match on, off with
+        | Some (Feasible _ as a), Some (Infeasible as b)
+        | Some (Infeasible as a), Some (Feasible _ as b) ->
+          mismatch on_name a off_name b
+            "the stubborn-set reduction preserves the feasibility verdict"
+        | _ -> ()
+      in
+      por_pair "incremental" incremental "no-por" no_por;
+      por_pair "classes" classes "classes-no-por" classes_no_por;
       {
         results = List.map (fun (engine, verdict) -> { engine; verdict }) results;
         divergences = List.rev !divergences;

@@ -21,6 +21,12 @@
       schedule may legitimately differ (subtree completion order is
       racy) — so only the verdict is compared, and its schedules are
       certified like any other;
+    - the stubborn-set partial-order reduction ({!Ezrt_tpn.Indep})
+      preserves the feasibility verdict: the [no-por] and
+      [classes-no-por] rows re-run the incremental discrete and the
+      class engine with the reduction off, and decisive verdicts must
+      match the POR-on rows (schedules may differ — the reduction
+      commits to one interleaving of each independent diamond);
     - every feasible schedule must replay through the TPN semantics to
       the final marking and pass the spec-level validator;
     - an [Infeasible] verdict of an exhaustive engine is contradicted

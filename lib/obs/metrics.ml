@@ -7,6 +7,7 @@ type counter = {
   labels : (string * string) list;
   help : string;
   render : render;
+  is_gauge : bool;  (* set semantics; exported as # TYPE gauge *)
   cell : int Atomic.t;
 }
 
@@ -17,7 +18,7 @@ let registry : (string * (string * string) list, counter) Hashtbl.t =
 
 let registry_lock = Mutex.create ()
 
-let get_or_create ?(help = "") ?(labels = []) ~render name =
+let get_or_create ?(help = "") ?(labels = []) ?(is_gauge = false) ~render name =
   let labels = List.sort compare labels in
   let key = (name, labels) in
   Mutex.lock registry_lock;
@@ -25,7 +26,7 @@ let get_or_create ?(help = "") ?(labels = []) ~render name =
     match Hashtbl.find_opt registry key with
     | Some c -> c
     | None ->
-      let c = { name; labels; help; render; cell = Atomic.make 0 } in
+      let c = { name; labels; help; render; is_gauge; cell = Atomic.make 0 } in
       Hashtbl.add registry key c;
       c
   in
@@ -33,6 +34,14 @@ let get_or_create ?(help = "") ?(labels = []) ~render name =
   c
 
 let counter ?help ?labels name = get_or_create ?help ?labels ~render:Count name
+
+type gauge = counter
+
+let gauge ?help ?labels name =
+  get_or_create ?help ?labels ~is_gauge:true ~render:Count name
+
+let set g v = Atomic.set g.cell v
+let gauge_value g = Atomic.get g.cell
 
 let add c n =
   if n < 0 then
@@ -116,7 +125,9 @@ let dump () =
         last_name := c.name;
         if c.help <> "" then
           Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" c.name c.help);
-        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" c.name)
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" c.name
+             (if c.is_gauge then "gauge" else "counter"))
       end;
       Buffer.add_string b (series_line c);
       Buffer.add_char b '\n')
@@ -126,6 +137,24 @@ let dump () =
 let save_file path =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (dump ()))
+
+(* End-of-span GC snapshot: engines call this when flushing their
+   counters so a --metrics dump shows the allocation behaviour of the
+   last search (quick_stat: no heap traversal). *)
+let record_gc_gauges () =
+  let q = Gc.quick_stat () in
+  let g name help = gauge ~help name in
+  set
+    (g "ezrt_gc_minor_words"
+       "Words allocated in the minor heap since program start")
+    (int_of_float q.Gc.minor_words);
+  set
+    (g "ezrt_gc_major_words"
+       "Words allocated in or promoted to the major heap since program start")
+    (int_of_float q.Gc.major_words);
+  set
+    (g "ezrt_gc_compactions" "Heap compactions since program start")
+    q.Gc.compactions
 
 let reset_all () =
   Mutex.lock registry_lock;

@@ -25,6 +25,18 @@ val add : counter -> int -> unit
 
 val value : counter -> int
 
+type gauge
+(** A last-value cell, exported with [# TYPE ... gauge]: {!set}
+    overwrites instead of accumulating.  Used for end-of-span
+    snapshots such as the GC word counts. *)
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+(** Get-or-create, like {!counter}; gauges and counters share the
+    registry namespace, so a name should be one or the other. *)
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
 type timer
 (** An accumulating timer, exported as two series:
     [<name>_seconds_total] and [<name>_runs_total]. *)
@@ -41,6 +53,12 @@ val time : timer -> (unit -> 'a) -> 'a
 
 val timer_seconds : timer -> float
 val timer_runs : timer -> int
+
+val record_gc_gauges : unit -> unit
+(** Snapshot [Gc.quick_stat] into the
+    [ezrt_gc_{minor_words,major_words,compactions}] gauges.  The
+    search engines call this at the end of every search span so the
+    metrics dump reflects allocation up to the last search. *)
 
 val dump : unit -> string
 (** Prometheus text exposition: [# HELP] / [# TYPE] blocks, series

@@ -9,6 +9,9 @@ type metrics = {
   subsumed : int;
   max_depth : int;
   elapsed_s : float;
+  por_reduced : int;
+  por_fallback : int;
+  por_skipped : int;
 }
 
 type failure =
@@ -27,6 +30,9 @@ type counters = {
   mutable c_eager : int;
   mutable c_backtracks : int;
   mutable c_max_depth : int;
+  mutable c_por_reduced : int;
+  mutable c_por_fallback : int;
+  mutable c_por_skipped : int;
 }
 
 exception Found of Pnet.transition_id list
@@ -243,17 +249,45 @@ let subsumption_applicable (model : Translate.t) =
   in
   go (Pnet.transition_count net - 1)
 
-let obs_flush (c : counters) (store : Class_store.stats) elapsed_s =
-  let open Ezrt_obs in
-  let labels = [ ("engine", "classes") ] in
-  let bump name help v =
-    Metrics.add (Metrics.counter ~help ~labels name) v
+(* Class-level stubborn-set gate: the discrete reduction's urgency
+   condition "min DUB = 0" becomes "some enabled transition has delay
+   upper bound 0" — no time can elapse before the next firing, so the
+   exchange argument of {!Ezrt_tpn.Indep} applies to the class graph
+   verbatim (every delay in scope is the point 0 and the domain is
+   unchanged by commuting independent firings).  Probes are only
+   evaluated when the shared gate in {!Search.apply_por} asks for
+   them. *)
+let apply_por ~ind net (c : State_class.t) firable =
+  let enabled tid =
+    Array.exists (fun t -> t = tid) c.State_class.enabled
   in
-  bump "ezrt_search_stored_states_total" "Search nodes stored" c.c_stored;
-  bump "ezrt_search_visited_states_total" "Search nodes visited" c.c_visited;
-  bump "ezrt_search_eager_fires_total"
-    "Forced immediate firings collapsed without storing a node" c.c_eager;
-  bump "ezrt_search_backtracks_total" "Exhausted search nodes" c.c_backtracks;
+  let dub_zero tid = snd (State_class.delay_bounds net c tid) = 0 in
+  let urgent () = Array.exists dub_zero c.State_class.enabled in
+  Search.apply_por ~ind ~urgent ~enabled ~dub_zero
+    ~tokens:(fun p -> c.State_class.marking.(p))
+    firable
+
+let to_search_metrics (m : metrics) =
+  {
+    Search.stored = m.stored;
+    visited = m.visited;
+    eager = m.eager;
+    backtracks = m.backtracks;
+    max_depth = m.max_depth;
+    elapsed_s = m.elapsed_s;
+    por_reduced = m.por_reduced;
+    por_fallback = m.por_fallback;
+    por_skipped = m.por_skipped;
+  }
+
+(* Both class engines flush through {!Search.flush_metrics} (so the
+   ezrt_search_*/ezrt_por_* series mean the same thing under every
+   engine label) plus the class-store extras. *)
+let flush_class_metrics ~engine (m : metrics) (store : Class_store.stats) =
+  Search.flush_metrics ~engine (to_search_metrics m);
+  let open Ezrt_obs in
+  let labels = [ ("engine", engine) ] in
+  let bump name help v = Metrics.add (Metrics.counter ~help ~labels name) v in
   bump "ezrt_class_store_entries_total" "Canonical domains stored"
     store.Class_store.entries;
   bump "ezrt_class_store_contended_total"
@@ -261,17 +295,14 @@ let obs_flush (c : counters) (store : Class_store.stats) elapsed_s =
     store.Class_store.contended;
   bump "ezrt_class_subsumed_total"
     "Classes pruned by inclusion in an already-explored domain"
-    store.Class_store.subsumed;
-  Metrics.observe
-    (Metrics.timer ~help:"Wall-clock time spent in search" ~labels
-       "ezrt_search_duration")
-    (max 0.0 elapsed_s)
+    store.Class_store.subsumed
 
-let find_schedule ?(max_stored = 500_000) ?(subsume = true)
+let find_schedule ?(max_stored = 500_000) ?(subsume = true) ?(por = true)
     ?(cancel = no_cancel) model =
   let net = model.Translate.net in
   let started = Unix.gettimeofday () in
   let subsume = subsume && subsumption_applicable model in
+  let ind = Search.por_context { Search.default_options with por } model in
   Ezrt_obs.Trace.begin_span ~cat:"search"
     ~args:
       [
@@ -282,7 +313,8 @@ let find_schedule ?(max_stored = 500_000) ?(subsume = true)
   let store = Class_store.create ~subsume () in
   let counters =
     { c_stored = 0; c_visited = 0; c_eager = 0; c_backtracks = 0;
-      c_max_depth = 0 }
+      c_max_depth = 0; c_por_reduced = 0; c_por_fallback = 0;
+      c_por_skipped = 0 }
   in
   let progress =
     let snapshot () =
@@ -334,7 +366,15 @@ let find_schedule ?(max_stored = 500_000) ?(subsume = true)
           counters.c_stored <- counters.c_stored + 1;
           counters.c_visited <- counters.c_visited + 1;
           progress ();
-          let candidates = order_candidates net c (State_class.firable net c) in
+          let firable, por_out = apply_por ~ind net c (State_class.firable net c) in
+          (match por_out with
+          | Search.Por_reduced ->
+            counters.c_por_reduced <- counters.c_por_reduced + 1
+          | Search.Por_fallback ->
+            counters.c_por_fallback <- counters.c_por_fallback + 1
+          | Search.Por_skipped ->
+            if por then counters.c_por_skipped <- counters.c_por_skipped + 1);
+          let candidates = order_candidates net c firable in
           List.iter
             (fun tid ->
               if not !budget_hit then begin
@@ -373,7 +413,6 @@ let find_schedule ?(max_stored = 500_000) ?(subsume = true)
   in
   let elapsed_s = Unix.gettimeofday () -. started in
   let store_stats = Class_store.stats store in
-  obs_flush counters store_stats elapsed_s;
   let metrics =
     {
       stored = counters.c_stored;
@@ -383,6 +422,10 @@ let find_schedule ?(max_stored = 500_000) ?(subsume = true)
       subsumed = store_stats.Class_store.subsumed;
       max_depth = counters.c_max_depth;
       elapsed_s;
+      por_reduced = counters.c_por_reduced;
+      por_fallback = counters.c_por_fallback;
+      por_skipped = counters.c_por_skipped;
     }
   in
+  flush_class_metrics ~engine:"classes" metrics store_stats;
   (outcome, metrics)

@@ -18,6 +18,12 @@ type metrics = {
       (** classes pruned by inclusion in an already-explored domain *)
   max_depth : int;
   elapsed_s : float;
+  por_reduced : int;
+      (** expanded classes where the stubborn set pruned ≥ 1 candidate *)
+  por_fallback : int;
+      (** urgent classes where no sound strict reduction was found *)
+  por_skipped : int;
+      (** expanded classes where the reduction gate did not apply *)
 }
 
 type failure =
@@ -41,15 +47,20 @@ val subsumption_applicable : Ezrt_blocks.Translate.t -> bool
 val find_schedule :
   ?max_stored:int ->
   ?subsume:bool ->
+  ?por:bool ->
   ?cancel:(unit -> bool) ->
   Ezrt_blocks.Translate.t ->
   (Schedule.t, failure) result * metrics
 (** [max_stored] defaults to 500_000.  [subsume] (default [true])
     enables inclusion pruning when {!subsumption_applicable} holds.
-    [cancel] is polled at every visited class, including forced
-    eager-advance chains (default: never); when it returns [true] the
-    search unwinds and reports {!Budget_exhausted} — used by the
-    parallel portfolio to stop losing configurations. *)
+    [por] (default [true]) enables the class-level stubborn-set
+    reduction, gated through {!Search.por_context} exactly like the
+    discrete engines (automatically inert on nets failing
+    {!Ezrt_tpn.Indep.applicable}).  [cancel] is polled at every
+    visited class, including forced eager-advance chains (default:
+    never); when it returns [true] the search unwinds and reports
+    {!Budget_exhausted} — used by the parallel portfolio to stop
+    losing configurations. *)
 
 (**/**)
 
@@ -66,5 +77,19 @@ val order_candidates :
 
 val extract :
   Ezrt_tpn.Pnet.t -> Ezrt_tpn.Pnet.transition_id list -> Schedule.t option
+
+val apply_por :
+  ind:Ezrt_tpn.Indep.t option ->
+  Ezrt_tpn.Pnet.t ->
+  Ezrt_tpn.State_class.t ->
+  Ezrt_tpn.Pnet.transition_id list ->
+  Ezrt_tpn.Pnet.transition_id list * Search.por_outcome
+(* Class-level reduction gate: urgency is "some enabled transition has
+   delay upper bound 0".  Shared by both class engines. *)
+
+val to_search_metrics : metrics -> Search.metrics
+
+val flush_class_metrics :
+  engine:string -> metrics -> Ezrt_tpn.Class_store.stats -> unit
 
 (**/**)

@@ -39,22 +39,29 @@ type worker_stats = {
   mutable w_backtracks : int;
   mutable w_max_depth : int;
   mutable w_steals : int;
+  mutable w_por_reduced : int;
+  mutable w_por_fallback : int;
+  mutable w_por_skipped : int;
 }
 
 let zero_stats () =
   { w_stored = 0; w_visited = 0; w_eager = 0; w_backtracks = 0;
-    w_max_depth = 0; w_steals = 0 }
+    w_max_depth = 0; w_steals = 0; w_por_reduced = 0; w_por_fallback = 0;
+    w_por_skipped = 0 }
 
 let default_domains () = max 2 (Domain.recommended_domain_count () - 1)
 
-let find_schedule ?(max_stored = 500_000) ?(subsume = true) ?domains
-    ?(cancel = fun () -> false) model =
+let find_schedule ?(max_stored = 500_000) ?(subsume = true) ?(por = true)
+    ?domains ?(cancel = fun () -> false) model =
   let started = Unix.gettimeofday () in
   let net = model.Translate.net in
   let n_workers =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
   let subsume = subsume && Class_search.subsumption_applicable model in
+  (* the stubborn-set context is immutable after creation — shared
+     read-only across worker domains like the net itself *)
+  let ind = Search.por_context { Search.default_options with por } model in
   Ezrt_obs.Trace.begin_span ~cat:"search"
     ~args:
       [
@@ -135,9 +142,15 @@ let find_schedule ?(max_stored = 500_000) ?(subsume = true) ?domains
               w.w_stored <- w.w_stored + 1;
               w.w_visited <- w.w_visited + 1;
               progress ();
-              let candidates =
-                Class_search.order_candidates net c (State_class.firable net c)
+              let firable, por_out =
+                Class_search.apply_por ~ind net c (State_class.firable net c)
               in
+              (match por_out with
+              | Search.Por_reduced -> w.w_por_reduced <- w.w_por_reduced + 1
+              | Search.Por_fallback -> w.w_por_fallback <- w.w_por_fallback + 1
+              | Search.Por_skipped ->
+                if por then w.w_por_skipped <- w.w_por_skipped + 1);
+              let candidates = Class_search.order_candidates net c firable in
               (* first candidate kept in hand; the rest accumulate in
                  reverse, which is push order: the deque top ends up
                  holding the second candidate, preserving sequential
@@ -266,6 +279,9 @@ let find_schedule ?(max_stored = 500_000) ?(subsume = true) ?domains
       max_depth =
         Array.fold_left (fun acc w -> max acc w.w_max_depth) 0 all_stats;
       elapsed_s;
+      por_reduced = sum (fun w -> w.w_por_reduced);
+      por_fallback = sum (fun w -> w.w_por_fallback);
+      por_skipped = sum (fun w -> w.w_por_skipped);
     }
   in
   let domains_used =
@@ -293,29 +309,11 @@ let find_schedule ?(max_stored = 500_000) ?(subsume = true) ?domains
         ("domains_used", Ezrt_obs.Trace.Int domains_used);
       ]
     "search";
-  let open Ezrt_obs in
-  let labels = [ ("engine", "classes-parallel") ] in
-  let bump name help v = Metrics.add (Metrics.counter ~help ~labels name) v in
-  bump "ezrt_search_stored_states_total" "Search nodes stored"
-    metrics.Class_search.stored;
-  bump "ezrt_search_visited_states_total" "Search nodes visited"
-    metrics.Class_search.visited;
-  bump "ezrt_search_eager_fires_total"
-    "Forced immediate firings collapsed without storing a node"
-    metrics.Class_search.eager;
-  bump "ezrt_search_backtracks_total" "Exhausted search nodes"
-    metrics.Class_search.backtracks;
-  bump "ezrt_par_steals_total" "Work-stealing operations" steals;
-  bump "ezrt_class_store_entries_total" "Canonical domains stored"
-    store_stats.Class_store.entries;
-  bump "ezrt_class_store_contended_total"
-    "Class-store stripe locks that had to wait"
-    store_stats.Class_store.contended;
-  bump "ezrt_class_subsumed_total"
-    "Classes pruned by inclusion in an already-explored domain"
-    store_stats.Class_store.subsumed;
-  Metrics.observe
-    (Metrics.timer ~help:"Wall-clock time spent in search" ~labels
-       "ezrt_search_duration")
-    (max 0.0 elapsed_s);
+  Class_search.flush_class_metrics ~engine:"classes-parallel" metrics
+    store_stats;
+  Ezrt_obs.Metrics.add
+    (Ezrt_obs.Metrics.counter ~help:"Work-stealing operations"
+       ~labels:[ ("engine", "classes-parallel") ]
+       "ezrt_par_steals_total")
+    steals;
   { outcome; metrics; domains_used; steals; store = store_stats }

@@ -26,11 +26,14 @@ type t = {
 val find_schedule :
   ?max_stored:int ->
   ?subsume:bool ->
+  ?por:bool ->
   ?domains:int ->
   ?cancel:(unit -> bool) ->
   Ezrt_blocks.Translate.t ->
   t
 (** [max_stored] defaults to 500_000; [subsume] (default [true]) is
-    gated on {!Class_search.subsumption_applicable}; [domains]
-    defaults to [max 2 (recommended_domain_count - 1)].  [cancel] is
-    polled by worker 0 at every expansion. *)
+    gated on {!Class_search.subsumption_applicable}; [por] (default
+    [true]) enables the class-level stubborn-set reduction shared with
+    {!Class_search}; [domains] defaults to
+    [max 2 (recommended_domain_count - 1)].  [cancel] is polled by
+    worker 0 at every expansion. *)

@@ -79,11 +79,15 @@ type worker_stats = {
   mutable w_steals : int;
   mutable w_shared_hits : int;
   mutable w_replayed : int;  (* firings replayed while repositioning *)
+  mutable w_por_reduced : int;
+  mutable w_por_fallback : int;
+  mutable w_por_skipped : int;
 }
 
 let zero_stats () =
   { w_stored = 0; w_visited = 0; w_eager = 0; w_backtracks = 0;
-    w_max_depth = 0; w_steals = 0; w_shared_hits = 0; w_replayed = 0 }
+    w_max_depth = 0; w_steals = 0; w_shared_hits = 0; w_replayed = 0;
+    w_por_reduced = 0; w_por_fallback = 0; w_por_skipped = 0 }
 
 let default_domains () = max 2 (Domain.recommended_domain_count () - 1)
 
@@ -91,6 +95,9 @@ let find_schedule ?(options = Search.default_options) ?domains
     ?(cancel = Search.no_cancel) model =
   let started = Unix.gettimeofday () in
   let net = model.Translate.net in
+  (* one immutable reduction context, shared read-only by all domains;
+     each worker applies it per-node against its own engine *)
+  let ind = Search.por_context options model in
   let n_workers = match domains with Some d -> max 1 d | None -> default_domains () in
   Ezrt_obs.Trace.begin_span ~cat:"search"
     ~args:
@@ -240,9 +247,24 @@ let find_schedule ?(options = Search.default_options) ?domains
             w.w_stored <- w.w_stored + 1;
             w.w_visited <- w.w_visited + 1;
             progress ();
-            let ordered =
-              Priority.order_view options.Search.policy model view
+            let fireable, por_outcome =
+              Search.apply_por ~ind
+                ~urgent:(fun () ->
+                  State.Incremental.min_dub eng = Time_interval.Finite 0)
+                ~enabled:(State.Incremental.is_enabled eng)
+                ~dub_zero:(fun t ->
+                  State.Incremental.dub eng t = Time_interval.Finite 0)
+                ~tokens:(State.Incremental.tokens eng)
                 (State.Incremental.fireable eng)
+            in
+            (match por_outcome with
+            | Search.Por_reduced -> w.w_por_reduced <- w.w_por_reduced + 1
+            | Search.Por_fallback -> w.w_por_fallback <- w.w_por_fallback + 1
+            | Search.Por_skipped ->
+              if options.Search.por then
+                w.w_por_skipped <- w.w_por_skipped + 1);
+            let ordered =
+              Priority.order_view options.Search.policy model view fireable
             in
             (* Children are built in one pass with no intermediate
                lists — the node machinery competes with the sequential
@@ -394,6 +416,9 @@ let find_schedule ?(options = Search.default_options) ?domains
       max_depth =
         Array.fold_left (fun acc w -> max acc w.w_max_depth) 0 all_stats;
       elapsed_s;
+      por_reduced = sum (fun w -> w.w_por_reduced);
+      por_fallback = sum (fun w -> w.w_por_fallback);
+      por_skipped = sum (fun w -> w.w_por_skipped);
     }
   in
   let domains_used =
@@ -428,18 +453,14 @@ let find_schedule ?(options = Search.default_options) ?domains
         ("domains_used", Ezrt_obs.Trace.Int domains_used);
       ]
     "search";
+  (* common search counters (incl. the POR triple) go through the same
+     flush as the sequential engines, so every engine label carries an
+     identical series vocabulary; only the parallel-specific counters
+     are bumped by hand *)
+  Search.flush_metrics ~engine:"discrete-parallel" metrics;
   let open Ezrt_obs in
   let labels = [ ("engine", "discrete-parallel") ] in
   let bump name help v = Metrics.add (Metrics.counter ~help ~labels name) v in
-  bump "ezrt_search_stored_states_total" "Search nodes stored"
-    metrics.Search.stored;
-  bump "ezrt_search_visited_states_total" "Search nodes visited"
-    metrics.Search.visited;
-  bump "ezrt_search_eager_fires_total"
-    "Forced immediate firings collapsed without storing a node"
-    metrics.Search.eager;
-  bump "ezrt_search_backtracks_total" "Exhausted search nodes"
-    metrics.Search.backtracks;
   bump "ezrt_par_steals_total" "Work-stealing operations" steals;
   bump "ezrt_par_shared_hits_total"
     "Expansions skipped because the state was already claimed in the \
@@ -453,10 +474,6 @@ let find_schedule ?(options = Search.default_options) ?domains
     table.Packed_state.Sharded.contended;
   bump "ezrt_par_table_entries_total" "Shared visited-table entries"
     table.Packed_state.Sharded.entries;
-  Metrics.observe
-    (Metrics.timer ~help:"Wall-clock time spent in search" ~labels
-       "ezrt_search_duration")
-    (max 0.0 elapsed_s);
   {
     outcome;
     metrics;

@@ -112,15 +112,7 @@ let default_configs model =
      ]
    else [])
 
-let class_metrics (m : Class_search.metrics) =
-  {
-    Search.stored = m.Class_search.stored;
-    visited = m.Class_search.visited;
-    eager = m.Class_search.eager;
-    backtracks = m.Class_search.backtracks;
-    max_depth = m.Class_search.max_depth;
-    elapsed_s = m.Class_search.elapsed_s;
-  }
+let class_metrics = Class_search.to_search_metrics
 
 (* an unrealized class path is inconclusive, not a proof *)
 let class_outcome = function
@@ -129,23 +121,26 @@ let class_outcome = function
   | Error (Class_search.Budget_exhausted | Class_search.Extraction_failed) ->
     Error Search.Budget_exhausted
 
-let run_config ~max_stored ~cancel model cfg =
+let run_config ~max_stored ~por ~cancel model cfg =
   match cfg.engine with
   | Discrete ->
     let options =
       { Search.default_options with
         policy = cfg.policy;
         latest_release = cfg.latest_release;
-        max_stored }
+        max_stored;
+        por }
     in
     let outcome, metrics = Search.find_schedule ~options ~cancel model in
     { config = cfg; outcome; metrics; cancelled = false }
   | Classes ->
-    let outcome, metrics = Class_search.find_schedule ~max_stored ~cancel model in
+    let outcome, metrics =
+      Class_search.find_schedule ~max_stored ~por ~cancel model
+    in
     { config = cfg; outcome = class_outcome outcome;
       metrics = class_metrics metrics; cancelled = false }
   | Class_parallel domains ->
-    let r = Par_class.find_schedule ~max_stored ~domains ~cancel model in
+    let r = Par_class.find_schedule ~max_stored ~por ~domains ~cancel model in
     { config = cfg; outcome = class_outcome r.Par_class.outcome;
       metrics = class_metrics r.Par_class.metrics; cancelled = false }
   | Parallel domains ->
@@ -153,7 +148,8 @@ let run_config ~max_stored ~cancel model cfg =
       { Search.default_options with
         policy = cfg.policy;
         latest_release = cfg.latest_release;
-        max_stored }
+        max_stored;
+        por }
     in
     let r = Par_search.find_schedule ~options ~domains ~cancel model in
     { config = cfg; outcome = r.Par_search.outcome;
@@ -222,7 +218,7 @@ let run_prepass model =
     (Prepass_unknown why, None)
 
 let find_schedule ?configs ?(max_stored = 500_000) ?domains ?(analysis = true)
-    ?(cancel = Search.no_cancel) model =
+    ?(por = true) ?(cancel = Search.no_cancel) model =
   let started_at = Unix.gettimeofday () in
   let prepass, decided =
     if analysis then run_prepass model
@@ -296,7 +292,7 @@ let find_schedule ?configs ?(max_stored = 500_000) ?domains ?(analysis = true)
           c
         in
         let (attempt : attempt) =
-          run_config ~max_stored ~cancel:member_cancel model cfgs.(i)
+          run_config ~max_stored ~por ~cancel:member_cancel model cfgs.(i)
         in
         let attempt = { attempt with cancelled = !saw_cancel } in
         Ezrt_obs.Trace.end_span ~cat:"portfolio" "portfolio-member"

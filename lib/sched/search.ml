@@ -8,11 +8,12 @@ type options = {
   latest_release : bool;
   max_stored : int;
   incremental : bool;
+  por : bool;
 }
 
 let default_options =
   { policy = Priority.Edf; partial_order = true; latest_release = false;
-    max_stored = 500_000; incremental = true }
+    max_stored = 500_000; incremental = true; por = true }
 
 type failure =
   | Infeasible
@@ -29,6 +30,9 @@ type metrics = {
   backtracks : int;
   max_depth : int;
   elapsed_s : float;
+  por_reduced : int;
+  por_fallback : int;
+  por_skipped : int;
 }
 
 type counters = {
@@ -37,6 +41,9 @@ type counters = {
   mutable c_eager : int;
   mutable c_backtracks : int;
   mutable c_max_depth : int;
+  mutable c_por_reduced : int;
+  mutable c_por_fallback : int;
+  mutable c_por_skipped : int;
 }
 
 (* --- observability ---------------------------------------------------
@@ -57,21 +64,84 @@ let progress_reporter ~engine (c : counters) =
   in
   fun () -> Ezrt_obs.Progress.tick snapshot
 
-let obs_flush ~engine (c : counters) elapsed_s =
+let flush_metrics ~engine (m : metrics) =
   let open Ezrt_obs in
   let labels = [ ("engine", engine) ] in
   let bump name help v =
     Metrics.add (Metrics.counter ~help ~labels name) v
   in
-  bump "ezrt_search_stored_states_total" "Search nodes stored" c.c_stored;
-  bump "ezrt_search_visited_states_total" "Search nodes visited" c.c_visited;
+  bump "ezrt_search_stored_states_total" "Search nodes stored" m.stored;
+  bump "ezrt_search_visited_states_total" "Search nodes visited" m.visited;
   bump "ezrt_search_eager_fires_total"
-    "Forced immediate firings collapsed without storing a node" c.c_eager;
-  bump "ezrt_search_backtracks_total" "Exhausted search nodes" c.c_backtracks;
+    "Forced immediate firings collapsed without storing a node" m.eager;
+  bump "ezrt_search_backtracks_total" "Exhausted search nodes" m.backtracks;
+  bump "ezrt_por_reduced_total"
+    "Expansions pruned by the stubborn-set partial-order reduction"
+    m.por_reduced;
+  bump "ezrt_por_fallback_total"
+    "Urgent states where the stubborn set gave no strict reduction"
+    m.por_fallback;
+  bump "ezrt_por_skipped_total"
+    "Expanded states where the reduction's gate did not apply" m.por_skipped;
   Metrics.observe
     (Metrics.timer ~help:"Wall-clock time spent in search" ~labels
        "ezrt_search_duration")
-    (max 0.0 elapsed_s)
+    (max 0.0 m.elapsed_s);
+  Metrics.record_gc_gauges ()
+
+let metrics_of_counters (c : counters) elapsed_s =
+  {
+    stored = c.c_stored;
+    visited = c.c_visited;
+    eager = c.c_eager;
+    backtracks = c.c_backtracks;
+    max_depth = c.c_max_depth;
+    elapsed_s;
+    por_reduced = c.c_por_reduced;
+    por_fallback = c.c_por_fallback;
+    por_skipped = c.c_por_skipped;
+  }
+
+(* Shared stubborn-set reduction plumbing: [por_context] decides once
+   per search whether reduction is even on the table, [reduce_fireable]
+   applies the per-state urgency gate and counts the outcome.  Every
+   engine goes through these two so the `ezrt_por_*` counters mean the
+   same thing everywhere. *)
+
+let por_context options model =
+  if options.por && not options.latest_release then
+    let ind =
+      Indep.create model.Translate.net
+        ~final_place:model.Translate.final_place
+        ~dead_places:model.Translate.dead_places
+    in
+    if Indep.applicable ind then Some ind else None
+  else None
+
+type por_outcome =
+  | Por_reduced
+  | Por_fallback
+  | Por_skipped
+
+let apply_por ~ind ~urgent ~enabled ~dub_zero ~tokens fireable =
+  match ind with
+  | Some ind when urgent () -> (
+    match Indep.reduce ind ~enabled ~dub_zero ~tokens fireable with
+    | Indep.Reduced e -> (e, Por_reduced)
+    | Indep.Fallback -> (fireable, Por_fallback))
+  | Some _ | None -> (fireable, Por_skipped)
+
+let reduce_fireable ~ind ~options ~counters:(c : counters) ~urgent ~enabled
+    ~dub_zero ~tokens fireable =
+  let expansion, outcome =
+    apply_por ~ind ~urgent ~enabled ~dub_zero ~tokens fireable
+  in
+  (match outcome with
+  | Por_reduced -> c.c_por_reduced <- c.c_por_reduced + 1
+  | Por_fallback -> c.c_por_fallback <- c.c_por_fallback + 1
+  | Por_skipped ->
+    if options.por then c.c_por_skipped <- c.c_por_skipped + 1);
+  expansion
 
 exception Found of (Pnet.transition_id * int) list
 (* carries the reversed action path *)
@@ -100,6 +170,7 @@ let firing_times options model tid (lo, hi) =
 
 let find_schedule_copying ~options ~cancel model counters =
   let net = model.Translate.net in
+  let ind = por_context options model in
   let failed = State.Table.create 4096 in
   let budget_hit = ref false in
   let progress = progress_reporter ~engine:"discrete-copying" counters in
@@ -135,9 +206,14 @@ let find_schedule_copying ~options ~cancel model counters =
         counters.c_stored <- counters.c_stored + 1;
         counters.c_visited <- counters.c_visited + 1;
         progress ();
-        let ordered =
-          Priority.order options.policy model s (State.fireable net s)
+        let fireable =
+          reduce_fireable ~ind ~options ~counters
+            ~urgent:(fun () -> State.min_dub net s = Time_interval.Finite 0)
+            ~enabled:(State.is_enabled s)
+            ~dub_zero:(fun t -> State.dub net s t = Time_interval.Finite 0)
+            ~tokens:(State.tokens s) (State.fireable net s)
         in
+        let ordered = Priority.order options.policy model s fireable in
         let try_candidate tid =
           if not !budget_hit then
             let domain = State.firing_domain net s tid in
@@ -174,6 +250,7 @@ let find_schedule_copying ~options ~cancel model counters =
 
 let find_schedule_incremental ~options ~cancel model counters =
   let net = model.Translate.net in
+  let ind = por_context options model in
   let eng = State.Incremental.create net in
   let view = Priority.view_of_engine eng in
   (* Size the memo from the stored-state budget (capped — Hashtbl grows
@@ -214,10 +291,17 @@ let find_schedule_incremental ~options ~cancel model counters =
           counters.c_stored <- counters.c_stored + 1;
           counters.c_visited <- counters.c_visited + 1;
           progress ();
-          let ordered =
-            Priority.order_view options.policy model view
+          let fireable =
+            reduce_fireable ~ind ~options ~counters
+              ~urgent:(fun () ->
+                State.Incremental.min_dub eng = Time_interval.Finite 0)
+              ~enabled:(State.Incremental.is_enabled eng)
+              ~dub_zero:(fun t ->
+                State.Incremental.dub eng t = Time_interval.Finite 0)
+              ~tokens:(State.Incremental.tokens eng)
               (State.Incremental.fireable eng)
           in
+          let ordered = Priority.order_view options.policy model view fireable in
           (* domains must be read before any child mutates the engine *)
           let plans =
             List.map
@@ -283,7 +367,8 @@ let find_schedule ?(options = default_options) ?(cancel = no_cancel) model =
     "search";
   let counters =
     { c_stored = 0; c_visited = 0; c_eager = 0; c_backtracks = 0;
-      c_max_depth = 0 }
+      c_max_depth = 0; c_por_reduced = 0; c_por_fallback = 0;
+      c_por_skipped = 0 }
   in
   let outcome =
     Fun.protect
@@ -301,15 +386,6 @@ let find_schedule ?(options = default_options) ?(cancel = no_cancel) model =
         else find_schedule_copying ~options ~cancel model counters)
   in
   let elapsed_s = Unix.gettimeofday () -. started in
-  obs_flush ~engine counters elapsed_s;
-  let metrics =
-    {
-      stored = counters.c_stored;
-      visited = counters.c_visited;
-      eager = counters.c_eager;
-      backtracks = counters.c_backtracks;
-      max_depth = counters.c_max_depth;
-      elapsed_s;
-    }
-  in
+  let metrics = metrics_of_counters counters elapsed_s in
+  flush_metrics ~engine metrics;
   (outcome, metrics)

@@ -31,6 +31,12 @@ type options = {
       (** use the incremental engine with the packed failed-state
           store; default true.  [false] selects the copy-based
           reference engine. *)
+  por : bool;
+      (** stubborn-set partial-order reduction ({!Ezrt_tpn.Indep}):
+          at urgent states, expand only a dependency-closed subset of
+          the fireable set; default true.  Automatically inert under
+          [latest_release] or on nets that fail
+          {!Ezrt_tpn.Indep.applicable}; [--no-por] on the CLI. *)
 }
 
 val default_options : options
@@ -66,7 +72,48 @@ type metrics = {
   backtracks : int;  (** stored nodes whose subtree was exhausted *)
   max_depth : int;
   elapsed_s : float;
+  por_reduced : int;
+      (** expanded states where the stubborn set pruned ≥ 1 candidate *)
+  por_fallback : int;
+      (** urgent states where no sound strict reduction was found *)
+  por_skipped : int;
+      (** expanded states where the reduction gate did not apply
+          (non-urgent state, inapplicable net, or [latest_release]) *)
 }
+
+val flush_metrics : engine:string -> metrics -> unit
+(** Bulk-update the {!Ezrt_obs.Metrics} registry with one search's
+    totals under the given engine label — the
+    [ezrt_search_{stored_states,visited_states,eager_fires,backtracks}_total]
+    and [ezrt_por_{reduced,fallback,skipped}_total] counters, the
+    [ezrt_search_duration] timer and the end-of-span GC gauges.  Every
+    engine (sequential, parallel, classes) flushes through this so the
+    series mean the same thing under every label. *)
+
+val por_context : options -> Ezrt_blocks.Translate.t -> Ezrt_tpn.Indep.t option
+(** The per-search stubborn-set context: [Some] exactly when
+    [options.por] is on, [latest_release] is off, and the net passes
+    {!Ezrt_tpn.Indep.applicable}.  Shared by every engine so the
+    reduction is gated identically everywhere. *)
+
+type por_outcome =
+  | Por_reduced  (** the stubborn set pruned at least one candidate *)
+  | Por_fallback  (** urgent state, but no sound strict reduction *)
+  | Por_skipped  (** gate not met: non-urgent state or no context *)
+
+val apply_por :
+  ind:Ezrt_tpn.Indep.t option ->
+  urgent:(unit -> bool) ->
+  enabled:(Ezrt_tpn.Pnet.transition_id -> bool) ->
+  dub_zero:(Ezrt_tpn.Pnet.transition_id -> bool) ->
+  tokens:(Ezrt_tpn.Pnet.place_id -> int) ->
+  Ezrt_tpn.Pnet.transition_id list ->
+  Ezrt_tpn.Pnet.transition_id list * por_outcome
+(** One expansion through the reduction gate: probes are only called
+    when [ind] is [Some] and [urgent ()] holds ([dub_zero] only on
+    enabled transitions).  Returns the (possibly reduced) expansion
+    set and what happened, so every engine counts
+    [ezrt_por_{reduced,fallback,skipped}_total] identically. *)
 
 val find_schedule :
   ?options:options ->

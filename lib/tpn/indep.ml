@@ -1,0 +1,356 @@
+(* Stubborn-set partial-order reduction: static dependency matrices
+   precomputed once per net, a per-state closure over them, and the
+   timed/priority side conditions documented in the interface.
+
+   All matrices are bitsets over transition ids, so the per-state
+   closure is a word-wise worklist sweep; the [t] value is immutable
+   after [create] and shared read-only across worker domains. *)
+
+(* --- flat bitsets ----------------------------------------------------- *)
+
+module Bits = struct
+  let bpw = Sys.int_size
+
+  type t = int array
+
+  let words n = (n + bpw - 1) / bpw
+  let create n : t = Array.make (max 1 (words n)) 0
+  let mem (b : t) i = b.(i / bpw) land (1 lsl (i mod bpw)) <> 0
+  let set (b : t) i = b.(i / bpw) <- b.(i / bpw) lor (1 lsl (i mod bpw))
+
+  let inter_nonempty (a : t) (b : t) =
+    let hit = ref false in
+    for w = 0 to Array.length a - 1 do
+      if a.(w) land b.(w) <> 0 then hit := true
+    done;
+    !hit
+
+  let iter f (b : t) n =
+    for i = 0 to n - 1 do
+      if mem b i then f i
+    done
+end
+
+type t = {
+  net : Pnet.t;
+  n : int;  (* transition count *)
+  applicable : bool;
+  dep : Bits.t array;  (* dep.(t): transitions sharing a place with t *)
+  confl : Bits.t array;  (* confl.(t): shared-input-place conflicts *)
+  dep_size : int array;  (* popcount of dep.(t), freezer-choice heuristic *)
+  producers : Pnet.transition_id array array;  (* by place *)
+  final_seeds : Pnet.transition_id array;  (* producers of MF's place *)
+}
+
+let applicable ind = ind.applicable
+
+let dependents ind t =
+  let acc = ref [] in
+  Bits.iter (fun u -> acc := u :: !acc) ind.dep.(t) ind.n;
+  List.rev !acc
+
+(* Net-level gate.  Dead places must be sinks: a reordered prefix then
+   carries no more dead tokens than the original run's final state, so
+   pruned-order detours cannot pass through a dead (pruned) state.
+   The priority shape is the class engines' subsumption gate: every
+   better-than-default priority on a [0,0] transition (its firability
+   is marking-determined), every worse-than-default priority marking a
+   dead place (it never appears on a feasible run). *)
+let net_applicable net ~dead_places =
+  let n = Pnet.transition_count net in
+  let dead_sinks =
+    List.for_all
+      (fun p -> Array.length (Pnet.consumers_of net p) = 0)
+      dead_places
+  in
+  let is_dead p = List.mem p dead_places in
+  let priority_shape = ref true in
+  for t = 0 to n - 1 do
+    let pr = Pnet.priority net t in
+    if pr < Pnet.default_priority then begin
+      let itv = Pnet.interval net t in
+      if not (Time_interval.is_point itv && Time_interval.eft itv = 0) then
+        priority_shape := false
+    end
+    else if pr > Pnet.default_priority then
+      if not (Array.exists (fun (p, _) -> is_dead p) (Pnet.post_arcs net t))
+      then priority_shape := false
+  done;
+  dead_sinks && !priority_shape
+
+let create net ~final_place ~dead_places =
+  let n = Pnet.transition_count net in
+  let np = Pnet.place_count net in
+  (* touched.(t): places on any arc of t, as place bitsets *)
+  let touched = Array.init n (fun _ -> Bits.create np) in
+  for t = 0 to n - 1 do
+    Array.iter (fun (p, _) -> Bits.set touched.(t) p) (Pnet.pre_arcs net t);
+    Array.iter (fun (p, _) -> Bits.set touched.(t) p) (Pnet.post_arcs net t)
+  done;
+  (* pre_bits.(t): input places only (conflict detection) *)
+  let pre_bits = Array.init n (fun _ -> Bits.create np) in
+  for t = 0 to n - 1 do
+    Array.iter (fun (p, _) -> Bits.set pre_bits.(t) p) (Pnet.pre_arcs net t)
+  done;
+  let dep = Array.init n (fun _ -> Bits.create n) in
+  let confl = Array.init n (fun _ -> Bits.create n) in
+  for t = 0 to n - 1 do
+    for u = 0 to n - 1 do
+      if u <> t then begin
+        if Bits.inter_nonempty pre_bits.(t) pre_bits.(u) then begin
+          Bits.set confl.(t) u;
+          Bits.set dep.(t) u
+        end
+        else if Bits.inter_nonempty touched.(t) touched.(u) then
+          Bits.set dep.(t) u
+      end
+    done
+  done;
+  let producers = Pnet.producers net in
+  let dep_size =
+    Array.init n (fun t ->
+        let c = ref 0 in
+        Bits.iter (fun _ -> incr c) dep.(t) n;
+        !c)
+  in
+  {
+    net;
+    n;
+    applicable = net_applicable net ~dead_places;
+    dep;
+    confl;
+    dep_size;
+    producers;
+    final_seeds = producers.(final_place);
+  }
+
+
+type reduction =
+  | Reduced of Pnet.transition_id list
+  | Fallback
+
+let dbg =
+  match Sys.getenv_opt "EZRT_POR_DEBUG" with Some _ -> true | None -> false
+
+(* Per-state stubborn closure.  Enabled members pull in their full
+   dependency row; a disabled member pulls in the producers of one
+   input place that currently lacks tokens (any run enabling it must
+   fire one of those first).  The place choice is deterministic (first
+   under-marked arc), so revisits of a state compute the same set.
+
+   Priority is handled by two dynamic conditions rather than in the
+   static matrices.  The reduction only runs when the shared fireable
+   priority pi_s is exactly the default (worse classes are dead-bound
+   under shape (B); better classes would let a non-fireable stubborn
+   transition head a witness).  And every better-priority consumer of
+   an expansion member's output places must provably stay disabled
+   across the commuted segment (rule 4): it needs an input place that
+   is still short of tokens after the member fires and whose producers
+   are all stubborn — otherwise commuting the member to the front
+   could enable a transition that evicts the deferred prefix from the
+   prioritized fireable filter.
+
+   The closure is attempted from several seeds: which fireable
+   transition the set grows from decides whether it stays clear of the
+   conflict cliques (a grant transition's dependency row drags in every
+   other grant), so the first few fireable transitions each get a
+   fresh attempt and the first strict reduction wins.  Seed order is
+   deterministic, so revisits of a state compute the same set. *)
+
+let max_seed_attempts = 6
+
+let reduce ind ~enabled ~dub_zero ~tokens fireable =
+  match fireable with
+  | [] | [ _ ] -> Fallback
+  | _ when not ind.applicable -> Fallback
+  | _ ->
+    let n = ind.n in
+    let pi_s = Pnet.priority ind.net (List.hd fireable) in
+    if pi_s <> Pnet.default_priority then begin
+      if dbg then Printf.eprintf "POR: pi_s %d not default\n%!" pi_s;
+      Fallback
+    end
+    else begin
+      let n_fireable = List.length fireable in
+      let exception Rule4_push of int in
+      let exception Rule4_bad in
+      let attempt seed =
+        let stubborn = Bits.create n in
+        let work = ref [] in
+        let push t = if not (Bits.mem stubborn t) then work := t :: !work in
+        let close () =
+          let rec go () =
+            match !work with
+            | [] -> ()
+            | t :: rest ->
+              work := rest;
+              if not (Bits.mem stubborn t) then begin
+                Bits.set stubborn t;
+                if enabled t then Bits.iter push ind.dep.(t) n
+                else begin
+                  (* among input places short of tokens, pick the one
+                     with the fewest producers still outside the set —
+                     a shared resource place (every finish transition
+                     feeds the processor) would otherwise drag in the
+                     whole net when a task-local place does the job *)
+                  let arcs = Pnet.pre_arcs ind.net t in
+                  let chosen = ref (-1) in
+                  let chosen_cost = ref max_int in
+                  Array.iter
+                    (fun (p, w) ->
+                      if tokens p < w then begin
+                        let cost =
+                          Array.fold_left
+                            (fun acc x ->
+                              if Bits.mem stubborn x then acc else acc + 1)
+                            0 ind.producers.(p)
+                        in
+                        if cost < !chosen_cost then begin
+                          chosen := p;
+                          chosen_cost := cost
+                        end
+                      end)
+                    arcs;
+                  if !chosen >= 0 then
+                    Array.iter push ind.producers.(!chosen)
+                  else
+                    (* inconsistent probe (should be enabled) — be safe *)
+                    Bits.iter push ind.dep.(t) n
+                end
+              end;
+              go ()
+          in
+          go ()
+        in
+        (* rule 4 for one expansion member: every better-priority
+           consumer y of its output places needs a witness input place
+           still under-marked after the member fires, with all of the
+           place's producers stubborn (so the deferred prefix cannot
+           top it up either).  An under-marked place with outside
+           producers is repairable by absorbing them; an
+           enabled-after-firing y is not. *)
+        let arc_weight arcs q =
+          Array.fold_left
+            (fun acc (p, w) -> if p = q then acc + w else acc)
+            0 arcs
+        in
+        let rule4_check m =
+          let pre_m = Pnet.pre_arcs ind.net m in
+          let post_m = Pnet.post_arcs ind.net m in
+          Array.iter
+            (fun (p, _) ->
+              Array.iter
+                (fun y ->
+                  if Pnet.priority ind.net y < pi_s then begin
+                    let witness = ref false in
+                    let pushable = ref (-1) in
+                    Array.iter
+                      (fun (q, w) ->
+                        if not !witness then begin
+                          let after =
+                            tokens q - arc_weight pre_m q
+                            + arc_weight post_m q
+                          in
+                          if after < w then
+                            if
+                              Array.for_all
+                                (fun x -> Bits.mem stubborn x)
+                                ind.producers.(q)
+                            then witness := true
+                            else if !pushable < 0 then pushable := q
+                        end)
+                      (Pnet.pre_arcs ind.net y);
+                    if not !witness then
+                      if !pushable >= 0 then raise (Rule4_push !pushable)
+                      else raise Rule4_bad
+                  end)
+                (Pnet.consumers_of ind.net p))
+            post_m
+        in
+        push seed;
+        Array.iter push ind.final_seeds;
+        close ();
+        (* Freezer cover: every expanded member needs an enabled
+           dub-zero stubborn transition, distinct and input-disjoint
+           from it, so the state after commuting the member forward is
+           still urgent.  A missing freezer is searched for outside the
+           set and, when found, added (with its dependency closure); a
+           few rounds converge or blow the set up to the full list. *)
+        let rec rounds k =
+          if k <= 0 then begin
+            if dbg then Printf.eprintf "POR: rounds exhausted\n%!";
+            Fallback
+          end
+          else begin
+            let expansion =
+              List.filter (fun t -> Bits.mem stubborn t) fireable
+            in
+            if List.length expansion >= n_fireable then begin
+              if dbg then
+                Printf.eprintf "POR: seed %s saturated (%d/%d)\n%!"
+                  (Pnet.transition_name ind.net seed)
+                  (List.length expansion) n_fireable;
+              Fallback
+            end
+            else begin
+              match List.iter rule4_check expansion with
+              | exception Rule4_bad ->
+                if dbg then Printf.eprintf "POR: rule 4 unrepairable\n%!";
+                Fallback
+              | exception Rule4_push q ->
+                Array.iter push ind.producers.(q);
+                close ();
+                rounds (k - 1)
+              | () ->
+                let covered m =
+                  let ok = ref false in
+                  for z = 0 to n - 1 do
+                    if
+                      (not !ok) && z <> m && Bits.mem stubborn z
+                      && enabled z && dub_zero z
+                      && not (Bits.mem ind.confl.(m) z)
+                    then ok := true
+                  done;
+                  !ok
+                in
+                (match
+                   List.find_opt (fun m -> not (covered m)) expansion
+                 with
+                | None -> Reduced expansion
+                | Some m ->
+                  (* find an outside freezer for m — it joins the
+                     expansion and is rule-4-checked next round.  Among
+                     eligible candidates prefer the smallest dependency
+                     row: a grant-like transition would drag its whole
+                     conflict clique in behind it *)
+                  let z = ref (-1) in
+                  for cand = n - 1 downto 0 do
+                    if
+                      cand <> m
+                      && (not (Bits.mem stubborn cand))
+                      && enabled cand && dub_zero cand
+                      && not (Bits.mem ind.confl.(m) cand)
+                      && (!z < 0 || ind.dep_size.(cand) < ind.dep_size.(!z))
+                    then z := cand
+                  done;
+                  if !z < 0 then Fallback
+                  else begin
+                    push !z;
+                    close ();
+                    rounds (k - 1)
+                  end)
+            end
+          end
+        in
+        rounds 4
+      in
+      let rec try_seeds k = function
+        | [] -> Fallback
+        | _ when k <= 0 -> Fallback
+        | seed :: rest -> (
+          match attempt seed with
+          | Reduced _ as r -> r
+          | Fallback -> try_seeds (k - 1) rest)
+      in
+      try_seeds max_seed_attempts fireable
+    end

@@ -1,0 +1,104 @@
+(** Static independence relations and stubborn-set partial-order
+    reduction for the prioritized TPN semantics.
+
+    The search engines explore every interleaving of the fireable set
+    [FT(s)]; on specifications with several independent tasks per
+    processor the bookkeeping transitions of distinct tasks interleave
+    factorially at each instant even though every order reaches the
+    same state.  A {e stubborn set} [T_s] is a transition set closed
+    under static dependency rules such that any firing sequence
+    leaving [s] and reaching the final marking can be reordered (by
+    adjacent exchanges of independent firings) to start with a member
+    of [T_s ∩ FT(s)]; expanding only those members preserves the
+    feasibility verdict while pruning the equivalent orders.
+
+    Timed and priority side conditions — the module is deliberately
+    conservative and falls back to full expansion whenever any of them
+    fails:
+
+    - reduction applies only at {e urgent} states ([min DUB = 0]): no
+      time can pass, every firing in scope happens after delay 0, so
+      clocks are frozen along the reordered prefixes and the untimed
+      exchange argument applies verbatim;
+    - for every expanded member [m] the stubborn set must also contain
+      an enabled {e freezer}: a transition with [DUB = 0], distinct
+      from [m] and sharing no input place with it, whose potential
+      disablers are all inside the set.  Outside firings then keep the
+      state urgent before {e and} after [m] is commuted forward, so a
+      slow better-priority transition can never slip into the
+      candidate set mid-exchange;
+    - the dependency matrix couples two transitions when they touch a
+      common place (conflict and causality); priorities are handled
+      dynamically instead of being folded into the matrix: reduction
+      only runs when the shared fireable priority equals the
+      translation's default (so a stubborn member heading a witness
+      run is itself fireable), and every better-priority consumer of
+      an expanded member's output places must have an input place that
+      stays short of tokens after the member fires and whose producers
+      are all stubborn (so the deferred prefix cannot enable it
+      either and evict the prefix from the prioritized [FT] filter);
+    - the closure is re-attempted from the first few fireable
+      transitions as seeds — the first seed whose closure yields a
+      strict reduction wins; seed order is deterministic, so state
+      re-visits compute the same set;
+    - the stubborn set is seeded with every producer of the final
+      place, so any run reaching [MF] contains a stubborn member and
+      the exchange argument has something to commute;
+    - net-level {!applicable} gate, mirroring the class engines'
+      subsumption gate: dead places must have no consumers (a
+      reordered prefix can then never detour through a pruned dead
+      state — dead-token counts are monotone), every better-than-
+      default priority sits on a [0,0] transition and every worse-
+      than-default priority marks a dead place (the translation's
+      priority discipline; hand-written nets that violate it fall back
+      to full expansion automatically). *)
+
+type t
+
+val create :
+  Pnet.t ->
+  final_place:Pnet.place_id ->
+  dead_places:Pnet.place_id list ->
+  t
+(** Precomputes the static relations.  O(|T|² · |P| / word_size) time
+    and O(|T|²) bits of memory — run once per net, then shared
+    read-only by all worker domains. *)
+
+val applicable : t -> bool
+(** Whether the net-level side conditions hold.  When [false], every
+    {!reduce} call returns [Fallback]; engines may skip the per-state
+    work entirely. *)
+
+type reduction =
+  | Reduced of Pnet.transition_id list
+      (** strictly fewer transitions than the fireable set passed in,
+          in the same relative order; expanding exactly these
+          preserves the feasibility verdict *)
+  | Fallback
+      (** no sound strict reduction found — expand the full set *)
+
+val reduce :
+  t ->
+  enabled:(Pnet.transition_id -> bool) ->
+  dub_zero:(Pnet.transition_id -> bool) ->
+  tokens:(Pnet.place_id -> int) ->
+  Pnet.transition_id list ->
+  reduction
+(** [reduce ind ~enabled ~dub_zero ~tokens fireable] computes a
+    stubborn set at the current state and intersects it with
+    [fireable].
+
+    The caller must only invoke this at urgent states (so some enabled
+    transition has [dub_zero]) with the earliest-firing-only branching
+    rule in force (no [latest_release] idle-time branching).
+    [enabled], [dub_zero] and [tokens] are read-only probes into the
+    caller's state representation (immutable state, incremental
+    engine, or state class), so one [t] serves every engine.
+
+    The computation is deterministic in the state, so re-visits reduce
+    to the same set and memoization over the reduced graph stays
+    sound. *)
+
+val dependents : t -> Pnet.transition_id -> Pnet.transition_id list
+(** The static dependency row of a transition (diagnostics and
+    tests). *)

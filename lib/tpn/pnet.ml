@@ -49,6 +49,18 @@ let find_place net name =
 let find_transition net name =
   match find_transition_opt net name with Some t -> t | None -> raise Not_found
 
+let pre_arcs net t = net.pre.(t)
+let post_arcs net t = net.post.(t)
+let consumers_of net p = net.consumers.(p)
+
+let producers net =
+  let prod = Array.make (place_count net) [] in
+  Array.iteri
+    (fun t arcs ->
+      Array.iter (fun (p, _) -> prod.(p) <- t :: prod.(p)) arcs)
+    net.post;
+  Array.map (fun ts -> Array.of_list (List.rev ts)) prod
+
 let in_structural_conflict net t1 t2 =
   t1 <> t2
   && Array.exists

@@ -52,6 +52,22 @@ val find_transition : t -> string -> transition_id
 val find_place_opt : t -> string -> place_id option
 val find_transition_opt : t -> string -> transition_id option
 
+val pre_arcs : t -> transition_id -> (place_id * int) array
+(** Input arcs [(p, w)] of a transition.  The returned array is the
+    net's own — callers must not mutate it. *)
+
+val post_arcs : t -> transition_id -> (place_id * int) array
+
+val consumers_of : t -> place_id -> transition_id array
+(** Transitions with an input arc on the place (the derived conflict
+    index); not to be mutated. *)
+
+val producers : t -> transition_id array array
+(** Freshly computed per-place producer index: [producers net].(p)
+    lists the transitions with an output arc into [p], ascending.
+    O(arcs); callers that need it repeatedly should keep the result
+    (as {!Indep} does). *)
+
 (** Structural conflict: two transitions sharing an input place can
     disable each other. *)
 val in_structural_conflict : t -> transition_id -> transition_id -> bool

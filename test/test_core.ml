@@ -86,7 +86,8 @@ let test_error_strings () =
            ( Search.Infeasible,
              {
                Search.stored = 1; visited = 1; eager = 0; backtracks = 1;
-               max_depth = 1; elapsed_s = 0.1;
+               max_depth = 1; elapsed_s = 0.1; por_reduced = 0;
+               por_fallback = 0; por_skipped = 0;
              } ));
       error_to_string (Not_certified []);
     ]
