@@ -1373,6 +1373,59 @@ let a20 () =
     = 0
   then failwith "A20: ezrt_por_reduced_total never moved"
 
+(* --- A21: structural lint throughput ----------------------------------- *)
+
+(* Lint the 500-spec seed-42 generated corpus (the fuzz campaign's
+   corpus) with the full pass — invariants, skeleton, dead structure,
+   siphon/trap, gate explain.  The corpus must lint without a single
+   error and without a single gate-explain mismatch; throughput is the
+   headline number (the lint pass is the service layer's cheap
+   pre-search oracle, so specs/s is what matters). *)
+
+let a21 ?(count = 500) () =
+  section "A21"
+    (Printf.sprintf "Structural lint throughput (%d-spec seeded corpus)"
+       count);
+  let specs = List.init count (fun i -> Spec_gen.spec_at ~seed:42 i) in
+  let started = Unix.gettimeofday () in
+  let errors = ref 0 and warnings = ref 0 and infos = ref 0 in
+  let truncated = ref 0 and mismatches = ref 0 and certs = ref 0 in
+  List.iter
+    (fun spec ->
+      let r = Lint.check_model (Translate.translate spec) in
+      errors := !errors + Lint.count Lint.Error r;
+      warnings := !warnings + Lint.count Lint.Warning r;
+      infos := !infos + Lint.count Lint.Info r;
+      if r.Lint.truncated then incr truncated;
+      certs := !certs + List.length r.Lint.certificates;
+      List.iter
+        (fun (d : Lint.diagnostic) ->
+          if String.equal d.Lint.code "EZRT-L013" then incr mismatches)
+        r.Lint.diagnostics)
+    specs;
+  let elapsed = Unix.gettimeofday () -. started in
+  let specs_per_s = float_of_int count /. max 1e-9 elapsed in
+  if !mismatches > 0 then
+    failwith "A21: gate-explain disagreed with a live gate";
+  if !errors > 0 then
+    failwith "A21: the generated corpus must lint without errors";
+  Format.printf
+    "%d specs linted in %.2f s (%.0f specs/s) — %d warning(s), %d info(s), \
+     %d certificate(s), %d truncated@."
+    count elapsed specs_per_s !warnings !infos !certs !truncated;
+  add_json "A21_lint"
+    [
+      ("specs", jint count);
+      ("errors", jint !errors);
+      ("warnings", jint !warnings);
+      ("infos", jint !infos);
+      ("certificates", jint !certs);
+      ("truncated", jint !truncated);
+      ("gate_mismatches", jint !mismatches);
+      ("elapsed_s", jfloat elapsed);
+      ("specs_per_s", jfloat specs_per_s);
+    ]
+
 (* --- A15: differential fuzzing throughput ------------------------------ *)
 
 let a15 () =
@@ -1491,9 +1544,10 @@ let bechamel_suite () =
 (* Compares the entries just written against a committed baseline
    (BASELINE.json): verdicts must match exactly; stored_states may grow
    by at most 25% (plus a small absolute allowance for racy parallel
-   counts); states_per_s may drop to no less than 40% of the baseline —
-   hosts differ, order-of-magnitude slowdowns are what the guard is
-   for.  With [require_all] (the full run), baseline keys missing from
+   counts); states_per_s — and specs_per_s for the lint experiment —
+   may drop to no less than 40% of the baseline: hosts differ,
+   order-of-magnitude slowdowns are what the guard is for.  Lint
+   gate-explain mismatches must stay at zero.  With [require_all] (the full run), baseline keys missing from
    the current run fail too: a renamed experiment must update the
    baseline deliberately.  Any violation exits non-zero so CI blocks
    the regression. *)
@@ -1545,6 +1599,20 @@ let check_against ~require_all ~current path =
          with
         | Some b, Some c when b > 0. && c < 0.4 *. b ->
           bad "%s: states_per_s regressed (baseline %.0f, now %.0f)" key b c
+        | _ -> ());
+        (match
+           ( field "specs_per_s" bentry Service_json.to_num,
+             field "specs_per_s" centry Service_json.to_num )
+         with
+        | Some b, Some c when b > 0. && c < 0.4 *. b ->
+          bad "%s: specs_per_s regressed (baseline %.0f, now %.0f)" key b c
+        | _ -> ());
+        (match
+           ( field "gate_mismatches" bentry Service_json.to_int,
+             field "gate_mismatches" centry Service_json.to_int )
+         with
+        | Some 0, Some c when c > 0 ->
+          bad "%s: gate-explain mismatches appeared (now %d)" key c
         | _ -> ()))
     base;
   match !violations with
@@ -1558,7 +1626,7 @@ let check_against ~require_all ~current path =
 
 (* The harness takes the same observability flags as ezrt: --trace FILE,
    --metrics FILE and --progress — plus --domains N (A16 worker count),
-   --smoke (CI subset: E1, A14, A16, A17, A18, A19, A20) and
+   --smoke (CI subset: E1, A14, A16, A17, A18, A19, A20, A21) and
    --check BASELINE.json (regression guard, applied to the entries the
    run just wrote).  No cmdliner here — a
    hand scan of argv keeps bench dependency-free. *)
@@ -1607,7 +1675,8 @@ let () =
     a17 ();
     a18 ();
     a19 ();
-    a20 ()
+    a20 ();
+    a21 ()
   end
   else begin
     e1 ();
@@ -1638,6 +1707,7 @@ let () =
     a18 ();
     a19 ();
     a20 ();
+    a21 ();
     bechamel_suite ()
   end;
   write_json "BENCH_search.json";

@@ -105,6 +105,68 @@ let model_cmd =
     Term.(const run $ obs_term $ file_arg $ case_arg $ pnml_out $ dot_out
           $ tina_out)
 
+(* --- lint ----------------------------------------------------------- *)
+
+let lint_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text), $(b,json) or $(b,sarif) (SARIF \
+                2.1.0).")
+  in
+  let deny_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("error", Lint.Error);
+               ("warning", Lint.Warning);
+               ("info", Lint.Info);
+             ])
+          Lint.Error
+      & info [ "deny" ] ~docv:"SEV"
+          ~doc:"Exit 1 when any diagnostic at or above this severity is \
+                present (default: $(b,error)).")
+  in
+  let max_rows_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-rows" ] ~docv:"N"
+          ~doc:"Farkas row bound for the P-invariant computation; exceeding \
+                it degrades boundedness coverage to unknown instead of \
+                failing.")
+  in
+  let run () file case fmt deny max_rows =
+    match load_spec file case with
+    | Error msg ->
+      prerr_endline ("ezrt: " ^ msg);
+      exit 2
+    | Ok spec -> (
+      match Lint.check_spec ~max_rows spec with
+      | Error msg ->
+        prerr_endline ("ezrt: " ^ msg);
+        exit 2
+      | Ok report ->
+        (match fmt with
+        | `Text -> print_string (Lint.to_text report)
+        | `Json -> print_endline (Lint.to_json report)
+        | `Sarif -> print_endline (Lint.to_sarif ?uri:file report));
+        if Lint.deny_hit ~deny report then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically lint the compiled net: invariant-certified \
+             boundedness, dead structure, siphon/trap hints and \
+             gate-explain diagnostics — no state-space search.  Exits 0 \
+             when clean, 1 on findings at or above --deny, 2 when the \
+             specification cannot be loaded.")
+    Term.(
+      const run $ obs_term $ file_arg $ case_arg $ format_arg $ deny_arg
+      $ max_rows_arg)
+
 (* --- schedule ------------------------------------------------------- *)
 
 let gantt_arg =
@@ -118,6 +180,27 @@ let schedule_cmd =
   let run () file case policy no_po latest max_states engine domains no_subsume
       no_analysis no_por timeout gantt vcd =
     with_spec file case (fun spec ->
+        (* Structural lint pre-pass: polynomial, no search.  Surfaces
+           errors and warnings before any engine runs but never blocks
+           synthesis — the POR/subsumption gates fall back on their
+           own, and a lint error usually means the search is about to
+           prove infeasibility the hard way. *)
+        (let lr = Lint.check_model (Translate.translate spec) in
+         let e = Lint.count Lint.Error lr
+         and w = Lint.count Lint.Warning lr in
+         if e + w = 0 then print_endline "lint pre-pass: clean"
+         else begin
+           Printf.printf
+             "lint pre-pass: %d error(s), %d warning(s) — run 'ezrt lint' \
+              for details\n"
+             e w;
+           List.iter
+             (fun d ->
+               if d.Lint.severity <> Lint.Info then
+                 Printf.printf "  %s %s: %s\n" d.Lint.code d.Lint.subject
+                   d.Lint.message)
+             lr.Lint.diagnostics
+         end);
         let deadline = deadline_of_timeout timeout in
         let cancel = cancel_of_deadline deadline in
         (* a budget failure with the wall clock past the deadline is the
@@ -894,7 +977,7 @@ let gen_cmd =
 let main_cmd =
   let doc = "embedded hard real-time software synthesis (ezRealtime)" in
   Cmd.group (Cmd.info "ezrt" ~version ~doc)
-    [ check_cmd; info_cmd; model_cmd; schedule_cmd; analyze_cmd;
+    [ check_cmd; info_cmd; model_cmd; lint_cmd; schedule_cmd; analyze_cmd;
       model_check_cmd; codegen_cmd; simulate_cmd; compare_cmd; fuzz_cmd;
       serve_cmd; batch_cmd; gen_cmd ]
 

@@ -45,7 +45,9 @@ let () =
   (* 4. Structural proof of the same fact, without any state space:
      place invariants cover each resource with bound constant/weight =
      1. *)
-  let invariants = Invariants.p_invariants ~max_rows:20_000 reloaded in
+  let invariants =
+    Invariants.invariants_of (Invariants.p_invariants ~max_rows:20_000 reloaded)
+  in
   Format.printf "place invariants found: %d@." (List.length invariants);
   List.iter
     (fun place ->

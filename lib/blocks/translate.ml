@@ -5,11 +5,20 @@ module Task = Ezrt_spec.Task
 module Message = Ezrt_spec.Message
 module Validate = Ezrt_spec.Validate
 
+type origin =
+  | From_task of int
+  | From_message of int
+  | From_precedence of int * int
+  | From_exclusion of int * int
+  | From_resource of string
+  | From_framework of string
+
 type t = {
   net : Pnet.t;
   spec : Spec.t;
   tasks : Task.t array;
   meanings : Meaning.t array;
+  place_origins : origin array;
   instance_counts : int array;
   horizon : int;
   final_place : Pnet.place_id;
@@ -42,8 +51,23 @@ and translate_untraced spec =
   let b = B.create spec.Spec.name in
   let meanings : (int * Meaning.t) list ref = ref [] in
   let note tid meaning = meanings := (tid, meaning) :: !meanings in
+  (* Spec provenance: every place created inside [tag origin f] is
+     recorded as coming from that spec fragment, by watermarking the
+     builder's place counter around the construction. *)
+  let origins : (int * origin) list ref = ref [] in
+  let tag origin f =
+    let lo = B.place_count b in
+    let r = f () in
+    let hi = B.place_count b in
+    for p = lo to hi - 1 do
+      origins := (p, origin) :: !origins
+    done;
+    r
+  in
   (* (i-pre) Resources: the processor, exclusion slots, buses. *)
-  let pproc = Blocks.processor_block b "pproc" in
+  let pproc =
+    tag (From_resource "processor") (fun () -> Blocks.processor_block b "pproc")
+  in
   let index_of_id id =
     let rec go i =
       if i >= n_tasks then raise Not_found
@@ -59,7 +83,9 @@ and translate_untraced spec =
         let name =
           Printf.sprintf "%s_%s" tasks.(ia).Task.name tasks.(ib).Task.name
         in
-        ((ia, ib), Relations.exclusion_place b ~name))
+        ( (ia, ib),
+          tag (From_exclusion (ia, ib)) (fun () ->
+              Relations.exclusion_place b ~name) ))
       spec.Spec.exclusions
   in
   let exclusions_of i =
@@ -73,12 +99,19 @@ and translate_untraced spec =
       (List.map (fun (m : Message.t) -> m.Message.bus) spec.Spec.messages)
   in
   let bus_places =
-    List.map (fun bus -> (bus, B.add_place b ~tokens:1 ("pbus_" ^ bus))) buses
+    List.map
+      (fun bus ->
+        ( bus,
+          tag
+            (From_resource ("bus " ^ bus))
+            (fun () -> B.add_place b ~tokens:1 ("pbus_" ^ bus)) ))
+      buses
   in
   (* (i) Arrival, deadline and structure blocks per task. *)
   let structures =
     Array.mapi
       (fun i task ->
+        tag (From_task i) @@ fun () ->
         let name = task.Task.name in
         let build_structure =
           match task.Task.mode with
@@ -127,8 +160,9 @@ and translate_untraced spec =
         Printf.sprintf "%s_%s" tasks.(ia).Task.name tasks.(ib).Task.name
       in
       let rel =
-        Relations.add_precedence b ~name ~finish_of_pred:st_a.Blocks.tf
-          ~release_of_succ:st_b.Blocks.tr
+        tag (From_precedence (ia, ib)) (fun () ->
+            Relations.add_precedence b ~name ~finish_of_pred:st_a.Blocks.tf
+              ~release_of_succ:st_b.Blocks.tr)
       in
       note rel.Relations.tprec (Meaning.Precedence (ia, ib)))
     spec.Spec.precedences;
@@ -140,31 +174,41 @@ and translate_untraced spec =
       let _, st_a, _ = structures.(ia) and _, st_b, _ = structures.(ib) in
       let bus = List.assoc m.Message.bus bus_places in
       let comm =
-        Relations.add_message b ~name:m.Message.name ~bus
-          ~grant_time:m.Message.grant_time ~comm_time:m.Message.comm_time
-          ~finish_of_sender:st_a.Blocks.tf ~release_of_receiver:st_b.Blocks.tr
+        tag (From_message mi) (fun () ->
+            Relations.add_message b ~name:m.Message.name ~bus
+              ~grant_time:m.Message.grant_time ~comm_time:m.Message.comm_time
+              ~finish_of_sender:st_a.Blocks.tf
+              ~release_of_receiver:st_b.Blocks.tr)
       in
       note comm.Relations.tsm (Meaning.Msg_grant mi);
       note comm.Relations.tcm (Meaning.Msg_transfer mi))
     spec.Spec.messages;
   (* (iv) Fork and (v) join. *)
   let starts = Array.to_list (Array.map (fun (pst, _, _) -> pst) structures) in
-  let _, tstart = Blocks.fork_block b ~starts in
+  let _, tstart =
+    tag (From_framework "fork") (fun () -> Blocks.fork_block b ~starts)
+  in
   note tstart Meaning.Start;
   let sources =
     Array.to_list
       (Array.mapi (fun i (_, _, dl) -> (dl.Blocks.pe, instance_counts.(i)))
          structures)
   in
-  let pend, tend = Blocks.join_block b ~sources in
+  let pend, tend =
+    tag (From_framework "join") (fun () -> Blocks.join_block b ~sources)
+  in
   note tend Meaning.End;
   (* Cyclic-executive semantics: the whole hyper-period's work must
      complete within the hyper-period, or the schedule table cannot
      repeat.  A watchdog armed at the start forces the final marking by
      [horizon]: runs that would spill into the next cycle hit a dead
      marking instead. *)
-  let pcyc = B.add_place b ~tokens:1 "pcyc" in
-  let pcm = B.add_place b "pcm" in
+  let pcyc, pcm =
+    tag (From_framework "cyclic-watchdog") (fun () ->
+        let pcyc = B.add_place b ~tokens:1 "pcyc" in
+        let pcm = B.add_place b "pcm" in
+        (pcyc, pcm))
+  in
   let tcyc =
     B.add_transition b ~priority:Blocks.prio_deadline_miss "tcyc"
       (Time_interval.point horizon)
@@ -176,11 +220,16 @@ and translate_untraced spec =
   let net = B.build b in
   let meaning_table = Array.make (Pnet.transition_count net) Meaning.Start in
   List.iter (fun (tid, m) -> meaning_table.(tid) <- m) !meanings;
+  let origin_table =
+    Array.make (Pnet.place_count net) (From_framework "net")
+  in
+  List.iter (fun (p, o) -> origin_table.(p) <- o) !origins;
   {
     net;
     spec;
     tasks;
     meanings = meaning_table;
+    place_origins = origin_table;
     instance_counts;
     horizon;
     final_place = pend;
@@ -216,6 +265,37 @@ let task_index model id =
     else go (i + 1)
   in
   go 0
+
+let place_origin model p = model.place_origins.(p)
+
+let transition_origin model tid =
+  match model.meanings.(tid) with
+  | Meaning.Start -> From_framework "fork"
+  | Meaning.End -> From_framework "join"
+  | Meaning.Cycle_overrun -> From_framework "cyclic-watchdog"
+  | Meaning.Precedence (i, j) -> From_precedence (i, j)
+  | Meaning.Msg_grant mi | Meaning.Msg_transfer mi -> From_message mi
+  | m -> (
+    match Meaning.task_index m with
+    | Some i -> From_task i
+    | None -> From_framework "net")
+
+let origin_to_string model = function
+  | From_task i ->
+    let t = model.tasks.(i) in
+    Printf.sprintf "task %s (id %s)" t.Task.name t.Task.id
+  | From_message mi ->
+    let m = List.nth model.spec.Spec.messages mi in
+    Printf.sprintf "message %s (%s -> %s)" m.Message.name m.Message.sender
+      m.Message.receiver
+  | From_precedence (i, j) ->
+    Printf.sprintf "precedence %s -> %s" model.tasks.(i).Task.id
+      model.tasks.(j).Task.id
+  | From_exclusion (i, j) ->
+    Printf.sprintf "exclusion {%s, %s}" model.tasks.(i).Task.id
+      model.tasks.(j).Task.id
+  | From_resource r -> "resource " ^ r
+  | From_framework f -> "framework " ^ f
 
 let required_firings model =
   let count tid =

@@ -8,11 +8,23 @@
 
 open Ezrt_tpn
 
+type origin =
+  | From_task of int  (** task index into the spec's task list *)
+  | From_message of int  (** message index *)
+  | From_precedence of int * int  (** (predecessor, successor) tasks *)
+  | From_exclusion of int * int  (** the two mutually excluded tasks *)
+  | From_resource of string  (** processor or bus place *)
+  | From_framework of string  (** fork / join / cyclic-watchdog glue *)
+      (** The spec fragment a net node was compiled from — the
+          provenance attached to every structural-lint diagnostic so a
+          net-level finding points back at the user's spec. *)
+
 type t = {
   net : Pnet.t;
   spec : Ezrt_spec.Spec.t;
   tasks : Ezrt_spec.Task.t array;  (** indexable copy of the task list *)
   meanings : Meaning.t array;  (** by transition id *)
+  place_origins : origin array;  (** by place id *)
   instance_counts : int array;  (** [N(ti)] by task index *)
   horizon : int;  (** the schedule period [PS] *)
   final_place : Pnet.place_id;  (** [pend]; [MF] marks it once *)
@@ -46,6 +58,15 @@ val is_dead : t -> State.t -> bool
 
 val task_index : t -> string -> int
 (** Index of a task id; raises [Not_found]. *)
+
+val place_origin : t -> Pnet.place_id -> origin
+
+val transition_origin : t -> Pnet.transition_id -> origin
+(** Derived from the transition's {!Meaning.t}. *)
+
+val origin_to_string : t -> origin -> string
+(** Human-readable provenance, e.g. ["task sensor (id t1)"] or
+    ["exclusion {t1, t2}"]. *)
 
 val required_firings : t -> int array
 (** How many times each transition must fire on any run reaching [MF]

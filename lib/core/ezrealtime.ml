@@ -27,6 +27,7 @@ module Relations = Ezrt_blocks.Relations
 module Compose = Ezrt_blocks.Compose
 module Meaning = Ezrt_blocks.Meaning
 module Translate = Ezrt_blocks.Translate
+module Lint = Ezrt_lint.Lint
 
 (* [Analysis] is taken by the TPN-level reachability module above *)
 module Schedulability = Ezrt_analysis.Schedulability

@@ -44,6 +44,7 @@ module Relations = Ezrt_blocks.Relations
 module Compose = Ezrt_blocks.Compose
 module Meaning = Ezrt_blocks.Meaning
 module Translate = Ezrt_blocks.Translate
+module Lint = Ezrt_lint.Lint
 
 module Schedulability = Ezrt_analysis.Schedulability
 (** Analytic schedulability verdicts — spec-level quick-reject with

@@ -11,6 +11,11 @@ module Validator = Ezrt_sched.Validator
 module Sim = Ezrt_baseline.Sim
 module Rta = Ezrt_baseline.Rta
 module Schedulability = Ezrt_analysis.Schedulability
+module Lint = Ezrt_lint.Lint
+module Invariants = Ezrt_tpn.Invariants
+module Tlts = Ezrt_tpn.Tlts
+module State = Ezrt_tpn.State
+module Pnet = Ezrt_tpn.Pnet
 
 type verdict =
   | Feasible of Schedule.t
@@ -45,6 +50,11 @@ type divergence =
   | Overutilized_feasible of float
   | Engine_crash of { engine : string; exn : string }
   | Analysis_witness_invalid of string
+  | Lint_crash of string
+  | Lint_dead_scheduled of { engine : string; transition : string }
+  | Lint_certificate_violated of string
+  | Lint_gate_mismatch of string
+  | Lint_shrink_regression of { dropped_task : string; diagnostic : string }
 
 let divergence_to_string = function
   | Invalid_input msg -> Printf.sprintf "spec does not validate: %s" msg
@@ -74,6 +84,20 @@ let divergence_to_string = function
     Printf.sprintf
       "analysis emitted a quick-reject witness that does not re-evaluate \
        to true: %s" w
+  | Lint_crash exn -> Printf.sprintf "structural lint crashed: %s" exn
+  | Lint_dead_scheduled { engine; transition } ->
+    Printf.sprintf
+      "lint proved %s structurally dead, yet %s's feasible schedule fires it"
+      transition engine
+  | Lint_certificate_violated msg ->
+    Printf.sprintf
+      "a lint P-invariant certificate fails on a reachable state: %s" msg
+  | Lint_gate_mismatch msg ->
+    Printf.sprintf "lint gate-explain disagrees with the live gate: %s" msg
+  | Lint_shrink_regression { dropped_task; diagnostic } ->
+    Printf.sprintf
+      "lint-clean spec stops being clean after dropping task %s: %s"
+      dropped_task diagnostic
 
 type report = {
   results : engine_result list;
@@ -408,6 +432,107 @@ let check ?(max_stored = 50_000) ?(class_domains = 1) ?engines ?(extra = [])
       in
       por_pair "incremental" incremental "no-por" no_por;
       por_pair "classes" classes "classes-no-por" classes_no_por;
+      (* (h)-(j) structural-lint theorems.  Lint is a static oracle:
+         its claims must be consistent with what the engines actually
+         did on this very spec. *)
+      let lint_report =
+        match Lint.check_model model with
+        | r -> Some r
+        | exception exn ->
+          flag (Lint_crash (Printexc.to_string exn));
+          None
+      in
+      (match lint_report with
+      | None -> ()
+      | Some lr ->
+        let net = model.Translate.net in
+        (* (h) a transition lint proved structurally dead can never
+           appear in any engine's feasible schedule *)
+        let dead = Lint.structurally_dead net in
+        if dead <> [] then
+          List.iter
+            (fun (engine, v) ->
+              match v with
+              | Feasible s ->
+                List.iter
+                  (fun (e : Schedule.entry) ->
+                    if List.mem e.Schedule.tid dead then
+                      flag
+                        (Lint_dead_scheduled
+                           {
+                             engine;
+                             transition =
+                               Pnet.transition_name net e.Schedule.tid;
+                           }))
+                  s.Schedule.entries
+              | Infeasible | Unknown _ -> ())
+            results;
+        (* (i) every P-invariant certificate in the report conserves
+           its constant on every state of a bounded TLTS walk *)
+        let consts =
+          List.map
+            (fun y -> (y, Invariants.weighted_tokens y net.Pnet.m0))
+            lr.Lint.certificates
+        in
+        let bad = ref None in
+        ignore
+          (Tlts.explore ~max_states:(min 2_000 max_stored)
+             ~on_state:(fun s ->
+               if !bad = None then
+                 List.iter
+                   (fun (y, c) ->
+                     let v = Invariants.weighted_tokens y s.State.marking in
+                     if v <> c then bad := Some (y, c, v))
+                   consts)
+             net);
+        (match !bad with
+        | Some (y, c, v) ->
+          flag
+            (Lint_certificate_violated
+               (Printf.sprintf
+                  "certificate over {%s} should conserve %d but a reachable \
+                   state holds %d"
+                  (String.concat ", "
+                     (List.map (Pnet.place_name net) (Invariants.support y)))
+                  c v))
+        | None -> ());
+        (* gate-explain must agree with the live gates (L013 never fires) *)
+        List.iter
+          (fun (d : Lint.diagnostic) ->
+            if String.equal d.Lint.code "EZRT-L013" then
+              flag (Lint_gate_mismatch d.Lint.message))
+          lr.Lint.diagnostics;
+        (* (j) lint cleanliness is monotone under the shrinker's task
+           dropping: removing a task from a clean spec cannot introduce
+           an error or warning (otherwise shrinking a divergent spec
+           could drift into lint noise unrelated to the divergence) *)
+        if (not (Lint.deny_hit ~deny:Lint.Warning lr))
+           && List.length spec.Spec.tasks > 1
+        then
+          List.iter
+            (fun (t : Ezrt_spec.Task.t) ->
+              let shrunk = Spec.drop_task spec t.Ezrt_spec.Task.id in
+              if (Validate.check shrunk).Validate.errors = [] then
+                match Lint.check_model (Translate.translate shrunk) with
+                | shrunk_report ->
+                  List.iter
+                    (fun (d : Lint.diagnostic) ->
+                      if
+                        Lint.severity_rank d.Lint.severity
+                        >= Lint.severity_rank Lint.Warning
+                      then
+                        flag
+                          (Lint_shrink_regression
+                             {
+                               dropped_task = t.Ezrt_spec.Task.id;
+                               diagnostic =
+                                 d.Lint.code ^ " " ^ d.Lint.subject ^ ": "
+                                 ^ d.Lint.message;
+                             }))
+                    shrunk_report.Lint.diagnostics
+                | exception exn ->
+                  flag (Lint_crash (Printexc.to_string exn)))
+            spec.Spec.tasks);
       {
         results = List.map (fun (engine, verdict) -> { engine; verdict }) results;
         divergences = List.rev !divergences;

@@ -71,6 +71,20 @@ type divergence =
   | Analysis_witness_invalid of string
       (** the analytic pre-pass emitted a quick-reject witness whose
           inequality does not re-evaluate to true against the spec *)
+  | Lint_crash of string  (** the structural lint pass itself raised *)
+  | Lint_dead_scheduled of { engine : string; transition : string }
+      (** a transition lint proved structurally dead appears in an
+          engine's certified feasible schedule *)
+  | Lint_certificate_violated of string
+      (** a P-invariant certificate from the lint report fails to
+          conserve its constant on a state visited during a bounded
+          TLTS walk *)
+  | Lint_gate_mismatch of string
+      (** lint's re-derived POR/subsumption gate verdict disagrees
+          with the live gate (the L013 self-check fired) *)
+  | Lint_shrink_regression of { dropped_task : string; diagnostic : string }
+      (** a lint-clean spec acquired an error/warning after the
+          shrinker's task-dropping step *)
 
 val divergence_to_string : divergence -> string
 

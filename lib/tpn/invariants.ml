@@ -50,6 +50,18 @@ let support_subset a b =
   Array.iteri (fun i x -> if x <> 0 && b.(i) = 0 then ok := false) a;
   !ok
 
+type outcome =
+  | Complete of int array list
+  | Truncated of int array list
+
+let invariants_of = function Complete ys | Truncated ys -> ys
+let is_truncated = function Complete _ -> false | Truncated _ -> true
+
+let finalize rows =
+  List.map (fun (y, _) -> normalize y) rows
+  |> List.filter (fun y -> support y <> [])
+  |> List.sort compare
+
 (* Farkas algorithm: rows are (y, r) with y the candidate invariant and
    r = y . C the residual; eliminate each transition column in turn by
    nonnegative combinations of rows with opposite signs. *)
@@ -64,18 +76,20 @@ let p_invariants ?(max_rows = 4096) (net : Pnet.t) =
            y.(p) <- 1;
            (y, Array.copy c.(p))))
   in
-  for t = 0 to n_trans - 1 do
+  let truncated = ref false in
+  let t = ref 0 in
+  while (not !truncated) && !t < n_trans do
     let zero, nonzero =
-      List.partition (fun (_, r) -> r.(t) = 0) !rows
+      List.partition (fun (_, r) -> r.(!t) = 0) !rows
     in
-    let pos = List.filter (fun (_, r) -> r.(t) > 0) nonzero in
-    let neg = List.filter (fun (_, r) -> r.(t) < 0) nonzero in
+    let pos = List.filter (fun (_, r) -> r.(!t) > 0) nonzero in
+    let neg = List.filter (fun (_, r) -> r.(!t) < 0) nonzero in
     let combos =
       List.concat_map
         (fun (y1, r1) ->
           List.map
             (fun (y2, r2) ->
-              let a = -r2.(t) and b = r1.(t) in
+              let a = -r2.(!t) and b = r1.(!t) in
               let y =
                 Array.init n_places (fun p -> (a * y1.(p)) + (b * y2.(p)))
               in
@@ -107,16 +121,24 @@ let p_invariants ?(max_rows = 4096) (net : Pnet.t) =
     let deduped =
       List.sort_uniq (fun (a, _) (b, _) -> compare a b) minimal
     in
-    if List.length deduped > max_rows then
-      failwith
-        (Printf.sprintf
-           "Invariants.p_invariants: row bound %d exceeded at column %d"
-           max_rows t);
-    rows := deduped
+    if List.length deduped > max_rows then begin
+      (* Row bound tripped mid-elimination.  Rows whose residual is
+         already all-zero satisfy y . C = 0 outright, so they are
+         genuine invariants even though later columns were never
+         processed — salvage those and report the truncation. *)
+      truncated := true;
+      rows :=
+        List.filter
+          (fun (_, r) -> Array.for_all (fun x -> x = 0) r)
+          deduped
+    end
+    else begin
+      rows := deduped;
+      incr t
+    end
   done;
-  List.map (fun (y, _) -> normalize y) !rows
-  |> List.filter (fun y -> support y <> [])
-  |> List.sort compare
+  let ys = finalize !rows in
+  if !truncated then Truncated ys else Complete ys
 
 let invariant_covering _net place invariants =
   List.find_opt (fun y -> y.(place) <> 0) invariants

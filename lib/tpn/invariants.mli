@@ -20,10 +20,27 @@ val is_invariant : Pnet.t -> int array -> bool
 val weighted_tokens : int array -> int array -> int
 (** [weighted_tokens y marking] is [y . marking]. *)
 
-val p_invariants : ?max_rows:int -> Pnet.t -> int array list
+type outcome =
+  | Complete of int array list
+      (** Every minimal-support invariant of the net. *)
+  | Truncated of int array list
+      (** The Farkas row bound tripped mid-elimination; the carried
+          rows are genuine invariants (all-zero residual) but the set
+          is incomplete — an uncovered place proves nothing. *)
+
+val invariants_of : outcome -> int array list
+(** The invariant rows regardless of completeness. *)
+
+val is_truncated : outcome -> bool
+
+val p_invariants : ?max_rows:int -> Pnet.t -> outcome
 (** Minimal-support nonnegative invariants with coprime weights
-    ([max_rows] defaults to 4096).  Raises [Failure] when the row bound
-    is exceeded. *)
+    ([max_rows] defaults to 4096).  Never raises: when the row bound is
+    exceeded the result degrades to [Truncated] carrying the invariants
+    found so far. *)
+
+val support : int array -> Pnet.place_id list
+(** Places with nonzero weight in the invariant. *)
 
 val invariant_covering : Pnet.t -> Pnet.place_id -> int array list -> int array option
 (** First invariant whose support contains the given place. *)

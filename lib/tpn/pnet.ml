@@ -150,6 +150,8 @@ module Builder = struct
 
   let place_of_name b name = Hashtbl.find_opt b.place_index name
   let transition_of_name b name = Hashtbl.find_opt b.trans_index name
+  let place_count b = b.n_places
+  let transition_count b = b.n_trans
 
   let build b =
     let place_rows = Array.of_list (List.rev b.places) in

@@ -110,6 +110,12 @@ module Builder : sig
   val place_of_name : t -> string -> place_id option
   val transition_of_name : t -> string -> transition_id option
 
+  val place_count : t -> int
+  (** Places added so far — a watermark for tagging construction
+      phases with their originating spec fragment. *)
+
+  val transition_count : t -> int
+
   val build : t -> net
   (** Freezes the net.  Raises [Invalid_argument] when a transition has
       no input arc (such a transition would be continuously enabled and

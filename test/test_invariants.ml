@@ -26,7 +26,7 @@ let test_weighted_tokens () =
 
 let test_sequential_invariants () =
   let net = sequential_net () in
-  let invs = Invariants.p_invariants net in
+  let invs = Invariants.invariants_of (Invariants.p_invariants net) in
   check_int "one minimal invariant" 1 (List.length invs);
   check_bool "it is the token count" true (List.hd invs = [| 1; 1; 1 |]);
   check_int "its constant is 1" 1
@@ -34,14 +34,14 @@ let test_sequential_invariants () =
 
 let test_ring_invariant () =
   let net = ring_net 5 7 in
-  let invs = Invariants.p_invariants net in
+  let invs = Invariants.invariants_of (Invariants.p_invariants net) in
   check_int "single circulating token" 1 (List.length invs);
   check_bool "uniform weights" true
     (Array.for_all (fun w -> w = 1) (List.hd invs))
 
 let test_conflict_invariant () =
   let net = conflict_net () in
-  let invs = Invariants.p_invariants net in
+  let invs = Invariants.invariants_of (Invariants.p_invariants net) in
   (* p0 + p1 + p2 conserved *)
   check_bool "found" true (List.mem [| 1; 1; 1 |] invs);
   List.iter
@@ -55,9 +55,12 @@ let test_resources_structurally_safe () =
   List.iter
     (fun (name, spec) ->
       let model = Translate.translate spec in
-      let invs =
+      let outcome =
         Invariants.p_invariants ~max_rows:20_000 model.Translate.net
       in
+      check_bool (name ^ ": Farkas completed") false
+        (Invariants.is_truncated outcome);
+      let invs = Invariants.invariants_of outcome in
       List.iter
         (fun y ->
           check_bool (name ^ ": Farkas output is an invariant") true
@@ -88,15 +91,22 @@ let test_row_bound () =
     (Translate.translate Case_studies.fig4_exclusion).Translate.net
   in
   match Invariants.p_invariants ~max_rows:1 net with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected the row bound to trip"
+  | Invariants.Truncated salvaged ->
+    (* the salvaged rows must still be genuine invariants *)
+    List.iter
+      (fun y ->
+        check_bool "salvaged row is an invariant" true
+          (Invariants.is_invariant net y))
+      salvaged
+  | Invariants.Complete _ ->
+    Alcotest.fail "expected the row bound to trip"
 
 let prop_invariants_hold_along_runs =
   qcheck ~count:60 "invariants constant along random ring runs"
     QCheck.(pair (int_range 2 5) (int_range 0 50))
     (fun (n, seed) ->
       let net = ring_net n seed in
-      let invs = Invariants.p_invariants net in
+      let invs = Invariants.invariants_of (Invariants.p_invariants net) in
       let rec walk s steps =
         steps = 0
         || List.for_all
